@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Intra-object protection extension (future work beyond the paper).
+ *
+ * Table III scores every evaluated mechanism 0/3 on intra-object
+ * overflows: a field overflowing into a sibling field of the same
+ * allocation is invisible to allocation-granularity bounds. This
+ * harness evaluates the lmi+subobject extension, which narrows field
+ * pointers to sub-K extents (16/32/64/128 B) using the spare debug
+ * encodings 27..30, and measures its performance cost on a
+ * field-access-heavy kernel.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ir/builder.hpp"
+#include "mechanisms/registry.hpp"
+#include "sim/device.hpp"
+
+using namespace lmi;
+using namespace lmi::ir;
+
+namespace {
+
+/** Writes field A (32 B) of each 128 B record through a field pointer. */
+IrModule
+recordKernel(bool overflow)
+{
+    IrFunction f = IrBuilder::makeKernel(
+        "records", {{"objs", Type::ptr(4)}, {"n", Type::i64()}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto objs = b.param(0);
+    auto t = b.gtid();
+    // record_ptr = objs + t*32 elements (128 B records)
+    auto rec = b.gep(objs, b.imul(t, b.constInt(32)));
+    auto field_a = b.fieldPtr(rec, /*off=*/0, /*size=*/32);
+    auto field_b = b.fieldPtr(rec, /*off=*/32, /*size=*/32);
+    // A realistic amount of per-record work: fill both fields and mix.
+    ValueId acc = t;
+    auto three = b.constInt(3);
+    for (int i = 0; i < 7; ++i) {
+        acc = b.iadd(b.imul(acc, three), b.constInt(i));
+        b.store(b.gep(field_a, b.constInt(i)), acc);
+        b.store(b.gep(field_b, b.constInt(i)), acc);
+    }
+    // ...then optionally overflow A into B.
+    b.store(b.gep(field_a, b.constInt(overflow ? 8 : 7)),
+            b.constInt(0xBAD, Type::i32()));
+    b.ret();
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension ablation",
+                  "intra-object protection via sub-K field extents");
+
+    // --- Detection ------------------------------------------------------
+    TextTable detect({"mechanism", "in-field write", "field overflow"});
+    for (MechanismKind kind :
+         {MechanismKind::Baseline, MechanismKind::Lmi,
+          MechanismKind::LmiSubobject}) {
+        std::vector<std::string> row = {mechanismKindName(kind)};
+        for (bool overflow : {false, true}) {
+            Device dev(makeMechanism(kind));
+            const uint64_t objs = dev.cudaMalloc(64 * 128);
+            const CompiledKernel k =
+                dev.compile(recordKernel(overflow), "records");
+            const RunResult r = dev.launch(k, 2, 32, {objs, 64});
+            row.push_back(r.faulted() ? "DETECTED" : "clean");
+        }
+        detect.addRow(row);
+    }
+    std::printf("%s\n", detect.render().c_str());
+
+    // --- Cost -------------------------------------------------------------
+    // The narrowing sequence is 7 extra instructions per field pointer;
+    // measure end-to-end on the benign kernel.
+    auto run = [](MechanismKind kind) {
+        Device dev(makeMechanism(kind));
+        const uint64_t objs = dev.cudaMalloc(uint64_t(64) * 256 * 128);
+        const CompiledKernel k =
+            dev.compile(recordKernel(false), "records");
+        return dev.launch(k, 64, 256, {objs, uint64_t(64) * 256}).cycles;
+    };
+    const uint64_t base = run(MechanismKind::Lmi);
+    const uint64_t sub = run(MechanismKind::LmiSubobject);
+    std::printf("  sub-object overhead vs base LMI on a field-heavy "
+                "kernel: %.2f%%  (no paper counterpart: intra-object "
+                "protection is future work in the paper)\n",
+                (double(sub) / double(base) - 1.0) * 100.0);
+    std::printf("\nTable III scores every mechanism 0/3 on intra-object "
+                "cases; with field-aware codegen the extension catches "
+                "them while keeping allocation-level protection intact. "
+                "Fields must be 2^n-sized (16..128 B) and offset-aligned; "
+                "others keep the object's coarse extent.\n");
+    return 0;
+}

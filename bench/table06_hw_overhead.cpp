@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table VI + §XI-C: hardware overhead comparison and the OCU's
+ * synthesis-calibrated cost model (153 GE/thread, 0.63 ns critical
+ * path, two register slices -> three-cycle check at >3 GHz).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/ocu.hpp"
+#include "hwcost/hwcost.hpp"
+
+using namespace lmi;
+
+int
+main()
+{
+    bench::banner("Table VI / Section XI-C", "hardware overhead");
+
+    TextTable table({"target", "additional logic", "gates (GE)", "per",
+                     "SRAM (B)", "to be verified"});
+    for (const ComparisonRow& row : hardwareComparison()) {
+        table.addRow({row.scheme + (row.measured_here ? " *" : ""),
+                      row.logic, fmtF(row.gates, 0), row.per,
+                      std::to_string(row.sram_bytes),
+                      row.verification_scope});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(* computed by the component model below; other rows are "
+                "the literature values the paper quotes)\n\n");
+
+    const UnitCost ocu = ocuCost();
+    TextTable parts({"OCU component", "GE", "logic levels"});
+    for (const GateComponent& c : ocu.components)
+        parts.addRow({c.name, fmtF(c.gates, 1), std::to_string(c.levels)});
+    parts.addSeparator();
+    parts.addRow({"total", fmtF(ocu.totalGates(), 1),
+                  std::to_string(ocu.totalLevels())});
+    std::printf("%s\n", parts.render().c_str());
+
+    const PipelinePlan plan = planPipeline(ocu, 3.2);
+    bench::compare("OCU gate count", 153.0, ocu.totalGates(), " GE");
+    bench::compare("critical path", 0.63, criticalPathNs(ocu), " ns");
+    bench::compare("f_max", 1.587, fMaxGHz(ocu), " GHz");
+    bench::compare("register slices @3.2GHz", 2.0,
+                   double(plan.register_slices), "");
+    bench::compare("check latency (cycles)", 3.0,
+                   double(plan.check_latency_cycles), "");
+    std::printf("\nThe simulator's OCU latency constant "
+                "(Ocu::kExtraLatency = %u) matches the pipeline plan.\n",
+                Ocu::kExtraLatency);
+
+    const UnitCost ec = extentCheckerCost();
+    std::printf("EC (LSU extent checker): %.1f GE, %.2f ns — negligible "
+                "against the LSU.\n", ec.totalGates(), criticalPathNs(ec));
+    return 0;
+}

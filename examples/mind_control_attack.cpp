@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Mind-Control-Attack scenario (paper §IV-D, citing Park et al.):
+ * a per-thread stack-buffer overflow inside a single kernel thread
+ * corrupts adjacent frame state — the primitive behind GPU ROP.
+ *
+ * Region-based schemes (GPUShield) treat the whole stack as one chunk
+ * and cannot see the overflow; LMI's per-buffer extents catch it at the
+ * first out-of-region dereference.
+ *
+ * The demo runs the same malicious kernel under four mechanisms and
+ * reports who notices.
+ */
+
+#include <cstdio>
+
+#include "ir/builder.hpp"
+#include "mechanisms/registry.hpp"
+#include "sim/device.hpp"
+
+using namespace lmi;
+using namespace lmi::ir;
+
+namespace {
+
+/**
+ * The victim kernel: copies `len` words of attacker-controlled input
+ * into a fixed 64-word stack buffer (the classic unchecked memcpy), then
+ * uses a second stack value that the overflow tramples.
+ */
+IrModule
+victimKernel()
+{
+    IrFunction f = IrBuilder::makeKernel(
+        "victim", {{"input", Type::ptr(4)}, {"len", Type::i64()},
+                   {"out", Type::ptr(4)}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto header = b.block("copy.header");
+    auto body = b.block("copy.body");
+    auto done = b.block("done");
+
+    b.setInsertPoint(entry);
+    auto input = b.param(0);
+    auto len = b.param(1);
+    auto out = b.param(2);
+    auto buf = b.alloca_(256, 4);      // 64-word stack buffer
+    auto control = b.alloca_(256, 4);  // adjacent frame state
+    b.store(b.gep(control, b.constInt(0)),
+            b.constInt(0x600D, Type::i32())); // "return address"
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    auto i = b.phi(Type::i64(), {{b.constInt(0), entry}});
+    auto cond = b.icmp(CmpOp::LT, i, len);
+    b.br(cond, body, done);
+
+    b.setInsertPoint(body);
+    auto v = b.load(b.gep(input, i));
+    b.store(b.gep(buf, i), v); // unchecked: i may exceed 63
+    auto next = b.iadd(i, b.constInt(1));
+    f.inst(i).ops.push_back(next);
+    f.inst(i).phi_blocks.push_back(body);
+    b.jump(header);
+
+    b.setInsertPoint(done);
+    // The kernel "returns through" the control word.
+    auto ctrl = b.load(b.gep(control, b.constInt(0)));
+    b.store(b.gep(out, b.constInt(0)), ctrl);
+    b.ret();
+
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Mind-Control-Attack demo: a stack smash inside one GPU "
+                "thread\n\n");
+
+    const std::vector<MechanismKind> mechanisms = {
+        MechanismKind::Baseline, MechanismKind::Gmod,
+        MechanismKind::GpuShield, MechanismKind::Lmi};
+
+    for (MechanismKind kind : mechanisms) {
+        Device dev(makeMechanism(kind));
+        const unsigned payload_words = 80; // 64 fit; 16 smash onward
+        const uint64_t input = dev.cudaMalloc(payload_words * 4);
+        const uint64_t out = dev.cudaMalloc(256);
+        for (unsigned i = 0; i < payload_words; ++i)
+            dev.poke32(input + 4 * i, 0xBAD0 + i); // attacker payload
+
+        const CompiledKernel kernel = dev.compile(victimKernel(), "victim");
+        const RunResult run =
+            dev.launch(kernel, 1, 1, {input, payload_words, out});
+
+        std::printf("%-10s: ", mechanismKindName(kind));
+        if (run.faulted()) {
+            std::printf("ATTACK BLOCKED — %s (%s)\n",
+                        faultKindName(run.faults[0].kind),
+                        run.faults[0].detail.c_str());
+        } else {
+            const uint32_t ctrl = dev.peek32(out);
+            std::printf("attack succeeded silently — control word now "
+                        "0x%X %s\n", ctrl,
+                        ctrl == 0x600D ? "(intact)" : "(HIJACKED)");
+        }
+    }
+
+    std::printf("\nGPUShield's coarse stack region cannot see the "
+                "intra-stack smash; LMI's per-buffer extent faults on the "
+                "first write past buf[63].\n");
+    return 0;
+}

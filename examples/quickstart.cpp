@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: the 5-minute tour of the LMI library.
+ *
+ *  1. create a Device protected by the LMI mechanism;
+ *  2. allocate device memory (pointers come back with the extent in
+ *     their upper bits);
+ *  3. author a small kernel in the IR builder, compile it with the LMI
+ *     pass, and launch it on the simulated GPU;
+ *  4. watch a buffer overflow get caught by the OCU + Extent Checker.
+ *
+ * Build: cmake --build build && ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "ir/builder.hpp"
+#include "mechanisms/registry.hpp"
+#include "sim/device.hpp"
+
+using namespace lmi;
+using namespace lmi::ir;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // 1. A device running the paper's mechanism.
+    Device dev(makeMechanism(MechanismKind::Lmi));
+
+    // 2. Device memory: note the extent encoded in the upper bits.
+    const unsigned n = 1024;
+    const uint64_t a = dev.cudaMalloc(n * 4);
+    const uint64_t b_buf = dev.cudaMalloc(n * 4);
+    const uint64_t out = dev.cudaMalloc(n * 4);
+    const PointerCodec codec;
+    std::printf("cudaMalloc(%u B) -> 0x%016llx  (extent=%u -> %llu B "
+                "aligned region at 0x%llx)\n",
+                n * 4, static_cast<unsigned long long>(a),
+                PointerCodec::extentOf(a),
+                static_cast<unsigned long long>(codec.sizeOf(a)),
+                static_cast<unsigned long long>(codec.baseOf(a)));
+
+    for (unsigned i = 0; i < n; ++i) {
+        dev.poke32(a + 4 * i, i);
+        dev.poke32(b_buf + 4 * i, 2 * i);
+    }
+
+    // 3. A vector-add kernel, written against the IR builder.
+    IrFunction f = IrBuilder::makeKernel(
+        "vadd", {{"a", Type::ptr(4)}, {"b", Type::ptr(4)},
+                 {"out", Type::ptr(4)}});
+    {
+        IrBuilder b(f);
+        b.setInsertPoint(b.block("entry"));
+        auto t = b.gtid();
+        auto va = b.load(b.gep(b.param(0), t));
+        auto vb = b.load(b.gep(b.param(1), t));
+        b.store(b.gep(b.param(2), t), b.iadd(va, vb));
+        b.ret();
+    }
+    IrModule m;
+    m.functions.push_back(std::move(f));
+
+    const CompiledKernel kernel = dev.compile(m, "vadd");
+    std::printf("\ncompiled vadd: %zu instructions, %u params; hinted "
+                "pointer ops carry the A/S bits for the OCU\n",
+                kernel.program.code.size(), kernel.program.num_params);
+
+    const RunResult run = dev.launch(kernel, n / 256, 256, {a, b_buf, out});
+    std::printf("launch: %llu cycles, %llu warp instructions, faults: "
+                "%zu\n",
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<unsigned long long>(run.instructions),
+                run.faults.size());
+    std::printf("out[41] = %u (expected %u)\n", dev.peek32(out + 41 * 4),
+                41 + 82);
+
+    // 4. Now overflow: one thread writes out[n] — one element past the
+    //    end. The OCU poisons the pointer at the IMAD; the Extent
+    //    Checker faults at the store.
+    IrFunction evil = IrBuilder::makeKernel(
+        "overflow", {{"buf", Type::ptr(4)}, {"idx", Type::i64()}});
+    {
+        IrBuilder b(evil);
+        b.setInsertPoint(b.block("entry"));
+        b.store(b.gep(b.param(0), b.param(1)),
+                b.constInt(0xDEAD, Type::i32()));
+        b.ret();
+    }
+    IrModule m2;
+    m2.functions.push_back(std::move(evil));
+    const CompiledKernel k2 = dev.compile(m2, "overflow");
+    const RunResult bad = dev.launch(k2, 1, 1, {out, n});
+    if (bad.faulted()) {
+        std::printf("\noverflow at out[%u]: DETECTED -> %s (%s)\n", n,
+                    faultKindName(bad.faults[0].kind),
+                    bad.faults[0].detail.c_str());
+        std::printf("delayed termination: the write never reached memory "
+                    "(out[%u] region untouched)\n", n);
+    } else {
+        std::printf("\noverflow was NOT detected — this should not "
+                    "happen\n");
+        return 1;
+    }
+    return 0;
+}

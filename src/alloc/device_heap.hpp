@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Device-side kernel malloc()/free() model (paper §IV-E, Fig. 5; §V-B
+ * "Heap Memory").
+ *
+ * The CUDA in-kernel allocator serves thousands of concurrent threads by
+ * sharding the heap into *buffer groups*. Each group serves one chunk
+ * unit — the paper's Fig. 5 observes multiples of 80 bytes for small
+ * requests and 2208 bytes for larger ones — and small buffers share a
+ * single group header, so threads in different warps can manipulate
+ * allocation metadata without contending on one lock. Rounding requests
+ * up to a chunk multiple is what gives the baseline its pre-existing
+ * fragmentation of up to ~50%, the observation that makes LMI's 2^n
+ * rounding cheap in comparison.
+ *
+ * The LMI variant rounds requests to a power of two >= K instead and
+ * returns extent-encoded, size-aligned pointers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "alloc/global_allocator.hpp"
+#include "arch/mem_map.hpp"
+#include "common/stats.hpp"
+#include "core/fault.hpp"
+#include "core/pointer.hpp"
+
+namespace lmi {
+
+/**
+ * Chunk-group device-heap allocator.
+ */
+class DeviceHeapAllocator
+{
+  public:
+    struct Config
+    {
+        AllocPolicy policy = AllocPolicy::Packed;
+        uint64_t region_base = kHeapBase;
+        uint64_t region_size = kHeapSize;
+        /** Chunk unit for small requests (paper Fig. 5). */
+        uint64_t small_chunk = 80;
+        /** Chunk unit for large requests. */
+        uint64_t large_chunk = 2208;
+        /** Requests above this many small chunks use the large unit. */
+        uint64_t small_limit = 1024;
+        /** Chunks per buffer group. */
+        unsigned chunks_per_group = 128;
+        /** Bytes of group header shared by a group's buffers. */
+        uint64_t group_header = 128;
+        /** Encode extent bits in returned pointers (LMI). */
+        bool encode_extent = false;
+        /** One-time allocation: never reuse freed chunks (§XII-C). */
+        bool quarantine_frees = false;
+        PointerCodec codec{};
+    };
+
+    DeviceHeapAllocator() : DeviceHeapAllocator(Config{}, nullptr) {}
+    explicit DeviceHeapAllocator(Config config, StatRegistry* stats = nullptr);
+
+    /**
+     * Thread @p tid allocates @p size bytes.
+     * Threads of different warps draw from different groups, mirroring the
+     * parallel-allocation sharding of the real runtime.
+     * @return device pointer (extent-encoded under LMI), 0 on exhaustion.
+     */
+    uint64_t malloc(uint32_t tid, uint64_t size);
+
+    /** Thread @p tid frees @p ptr. Returns runtime-detected free faults. */
+    MaybeFault free(uint32_t tid, uint64_t ptr);
+
+    /** Find the live allocation containing @p addr. */
+    std::optional<AllocBlock> findLive(uint64_t addr) const;
+
+    /** Bytes reserved (chunk-rounded) for currently live buffers. */
+    uint64_t liveReservedBytes() const { return live_reserved_; }
+
+    /** Bytes requested by currently live buffers. */
+    uint64_t liveRequestedBytes() const { return live_requested_; }
+
+    /** Peak reserved bytes (group storage + headers). */
+    uint64_t peakReservedBytes() const { return peak_reserved_; }
+
+    /** Number of buffer groups created so far. */
+    size_t groupCount() const { return groups_.size(); }
+
+    const Config& config() const { return config_; }
+
+  private:
+    struct Group
+    {
+        uint64_t base = 0;       ///< group storage start (after header)
+        uint64_t chunk = 0;      ///< chunk unit in bytes
+        unsigned chunks = 0;     ///< chunk capacity
+        std::vector<bool> used;  ///< per-chunk occupancy
+        unsigned free_chunks = 0;
+    };
+
+    struct Allocation
+    {
+        uint64_t base = 0;
+        uint64_t requested = 0;
+        uint64_t reserved = 0;
+        size_t group = SIZE_MAX; ///< owning group (packed policy)
+        bool live = true;
+    };
+
+    uint64_t chunkUnitFor(uint64_t size) const;
+    size_t groupFor(uint32_t tid, uint64_t chunk, unsigned chunks_needed);
+    uint64_t allocPow2(uint64_t size);
+
+    Config config_;
+    StatRegistry* stats_;
+    /** Bump cursor for new group storage / pow2 sub-allocator region. */
+    GlobalAllocator backing_;
+    std::vector<Group> groups_;
+    /** groups by (warp shard, chunk unit) for locality */
+    std::map<std::pair<uint32_t, uint64_t>, std::vector<size_t>> shard_groups_;
+    std::map<uint64_t, Allocation> live_by_base_;
+    std::vector<Allocation> history_;
+    uint64_t live_reserved_ = 0;
+    uint64_t live_requested_ = 0;
+    uint64_t peak_reserved_ = 0;
+};
+
+} // namespace lmi

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Host-side device-memory allocator: the cudaMalloc()/cudaFree() model
+ * (paper §V-B, "Global Memory").
+ *
+ * Two layout policies:
+ *
+ *  - Packed: the baseline. Blocks are 256-byte aligned (the documented
+ *    cudaMalloc minimum alignment) and packed first-fit, so a request of
+ *    2^n + eps bytes reserves 2^n + 256 bytes.
+ *  - Pow2Aligned: the LMI policy. Requests round up to the next power of
+ *    two >= K and the block is size-aligned, so the returned pointer can
+ *    carry its extent in the upper bits.
+ *
+ * The allocator keeps full block bookkeeping (live and freed) because the
+ * protection mechanisms need it: GPUShield reads per-buffer bounds from
+ * it, tripwire/canary schemes place their guard zones around blocks, and
+ * the fragmentation experiment (Fig. 4) reads the reserved-byte
+ * accounting.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/mem_map.hpp"
+#include "common/stats.hpp"
+#include "core/fault.hpp"
+#include "core/pointer.hpp"
+
+namespace lmi {
+
+/** Block placement policy. */
+enum class AllocPolicy : uint8_t {
+    Packed,     ///< baseline cudaMalloc: 256B-aligned, tightly packed
+    Pow2Aligned ///< LMI: size rounded to 2^n and size-aligned
+};
+
+/** One allocation record. */
+struct AllocBlock
+{
+    uint64_t base = 0;      ///< start VA (extent-stripped)
+    uint64_t requested = 0; ///< bytes the caller asked for
+    uint64_t reserved = 0;  ///< bytes the allocator consumed
+    bool live = false;      ///< false after free
+    uint64_t id = 0;        ///< monotonically increasing allocation id
+};
+
+/**
+ * First-fit free-list allocator over one virtual region.
+ */
+class GlobalAllocator
+{
+  public:
+    struct Config
+    {
+        AllocPolicy policy = AllocPolicy::Packed;
+        uint64_t region_base = kGlobalBase;
+        uint64_t region_size = kGlobalSize;
+        /** Alignment for the Packed policy (cudaMalloc uses 256). */
+        uint64_t packed_align = 256;
+        /** Encode the LMI extent into returned pointers (Pow2Aligned). */
+        bool encode_extent = false;
+        /**
+         * One-time allocation (Markus/FFmalloc style): freed blocks are
+         * quarantined and their virtual addresses never reused, so stale
+         * aliases can never point at a new owner. Used by the §XII-C
+         * liveness-tracking extension.
+         */
+        bool quarantine_frees = false;
+        PointerCodec codec{};
+    };
+
+    GlobalAllocator() : GlobalAllocator(Config{}, nullptr) {}
+    explicit GlobalAllocator(Config config, StatRegistry* stats = nullptr);
+
+    /**
+     * Allocate @p size bytes.
+     * @return the (possibly extent-encoded) device pointer, or 0 on
+     *         exhaustion.
+     */
+    uint64_t alloc(uint64_t size);
+
+    /**
+     * Free a previously returned pointer.
+     * @return InvalidFree/DoubleFree faults as the CUDA runtime would
+     *         report them; nullopt on success.
+     */
+    MaybeFault free(uint64_t ptr);
+
+    /** Find the block containing @p addr (live blocks only). */
+    const AllocBlock* findLive(uint64_t addr) const;
+
+    /** Find any block (live or freed) whose base is @p base. */
+    const AllocBlock* findByBase(uint64_t base) const;
+
+    /**
+     * Find the most recent block (live or freed) containing @p addr —
+     * the allocator's ground truth for fault classification.
+     */
+    const AllocBlock* findAny(uint64_t addr) const;
+
+    /** All blocks ever allocated, in allocation order. */
+    const std::vector<AllocBlock>& blocks() const { return blocks_; }
+
+    /** Peak of the sum of reserved bytes over time (Fig. 4 RSS proxy). */
+    uint64_t peakReservedBytes() const { return peak_reserved_; }
+
+    /** Currently reserved bytes. */
+    uint64_t liveReservedBytes() const { return live_reserved_; }
+
+    /** Sum of requested bytes over live blocks. */
+    uint64_t liveRequestedBytes() const { return live_requested_; }
+
+    const Config& config() const { return config_; }
+
+  private:
+    uint64_t reservedSizeFor(uint64_t size) const;
+    uint64_t placeBlock(uint64_t reserved, uint64_t alignment);
+
+    Config config_;
+    StatRegistry* stats_;
+    std::vector<AllocBlock> blocks_;
+    /** live block index by base address */
+    std::map<uint64_t, size_t> live_by_base_;
+    /** free extents: base -> size, coalesced */
+    std::map<uint64_t, uint64_t> free_list_;
+    uint64_t live_reserved_ = 0;
+    uint64_t live_requested_ = 0;
+    uint64_t peak_reserved_ = 0;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace lmi

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * SASS-like GPU instruction set used by the compiler, simulator, and
+ * instrumentation passes.
+ *
+ * The set mirrors the subset of NVIDIA SASS the paper reasons about:
+ * integer ALU ops (the OCU attachment point), floating-point ops, memory
+ * ops split by region (LDG/STG global, LDS/STS shared, LDL/STL local,
+ * LDC constant), control flow, and the device-heap runtime intrinsics
+ * MALLOC/FREE. Each instruction carries the two LMI hint bits that the
+ * microcode codec (microcode.hpp) packs into the reserved field.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ocu.hpp"
+
+namespace lmi {
+
+/** Memory space targeted by a memory instruction. */
+enum class MemSpace : uint8_t {
+    Global = 0,  ///< device global memory (heap lives here too)
+    Shared = 1,  ///< per-block scratchpad
+    Local = 2,   ///< per-thread stack
+    Constant = 3 ///< read-only constant bank (kernel params, stack base)
+};
+
+const char* memSpaceName(MemSpace space);
+
+/** Opcodes. Integer ALU ops host the OCU; FP units never see pointers. */
+enum class Opcode : uint8_t {
+    // Integer ALU
+    IADD,   ///< dst = src0 + src1
+    IADD3,  ///< dst = src0 + src1 + src2
+    ISUB,   ///< dst = src0 - src1
+    IMUL,   ///< dst = src0 * src1
+    IMAD,   ///< dst = src0 * src1 + src2
+    IMNMX,  ///< dst = min(src0, src1)
+    SHL,    ///< dst = src0 << src1
+    SHR,    ///< dst = src0 >> src1 (logical)
+    LOP_AND,///< dst = src0 & src1
+    LOP_OR, ///< dst = src0 | src1
+    LOP_XOR,///< dst = src0 ^ src1
+    MOV,    ///< dst = src0 (register, immediate, or constant bank)
+    ISETP,  ///< pred dst = src0 <cmp> src1
+    // Floating point (bit patterns interpreted as doubles)
+    FADD, FMUL, FFMA,
+    MUFU,   ///< special-function unit op (rcp/sqrt...), timing-relevant
+    // Memory
+    LDG, STG, LDS, STS, LDL, STL, LDC,
+    // Control
+    BRA,    ///< branch to imm target if guard predicate holds
+    BAR,    ///< block-wide barrier
+    EXIT,   ///< thread terminates
+    RET,    ///< return from (inlined) call frame; triggers UAS nullify
+    TRAP,   ///< raise a fault (src[0] imm = FaultKind); SASS BPT.TRAP
+    // Special
+    S2R,    ///< dst = special register (tid/ctaid/...)
+    MALLOC, ///< dst = device-heap allocation of src0 bytes
+    FREE,   ///< release device-heap buffer src0
+    NOP,
+};
+
+const char* opcodeName(Opcode op);
+
+/** True for opcodes executed on the integer ALU (OCU-capable). */
+bool isIntAlu(Opcode op);
+/** True for opcodes executed on the FP pipeline. */
+bool isFpAlu(Opcode op);
+/** True for memory loads/stores (LDC excluded: constant bank). */
+bool isMemory(Opcode op);
+/** True for loads (LDG/LDS/LDL/LDC). */
+bool isLoad(Opcode op);
+/** True for stores. */
+bool isStore(Opcode op);
+/** Memory space accessed by a memory opcode. */
+MemSpace memSpaceOf(Opcode op);
+
+/** Comparison condition for ISETP. */
+enum class CmpOp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+const char* cmpOpName(CmpOp op);
+
+/** Special registers readable via S2R. */
+enum class SpecialReg : uint8_t {
+    TidX, TidY,     ///< thread index within the block
+    CtaIdX, CtaIdY, ///< block index within the grid
+    NTidX, NTidY,   ///< block dimensions
+    NCtaIdX,        ///< grid dimension (x)
+    LaneId,         ///< lane within the warp
+    WarpId,         ///< warp within the block
+    SmId,           ///< SM executing the thread
+    GlobalTid,      ///< flattened global thread id
+};
+
+const char* specialRegName(SpecialReg reg);
+
+/** One instruction operand. */
+struct Operand
+{
+    enum class Kind : uint8_t {
+        None,
+        Reg,      ///< general register, 64-bit logical
+        Imm,      ///< 64-bit immediate
+        CBank,    ///< constant bank 0 at byte offset `value`
+        Special,  ///< special register (S2R only)
+    };
+
+    Kind kind = Kind::None;
+    uint64_t value = 0; ///< register index / immediate / c-bank offset
+
+    static Operand none() { return {}; }
+    static Operand reg(unsigned r) { return {Kind::Reg, r}; }
+    static Operand imm(uint64_t v) { return {Kind::Imm, v}; }
+    static Operand cbank(uint64_t byte_off) { return {Kind::CBank, byte_off}; }
+    static Operand special(SpecialReg sr)
+    {
+        return {Kind::Special, uint64_t(sr)};
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Maximum number of source operands. */
+inline constexpr unsigned kMaxSrcs = 3;
+/** Guard predicate value meaning "always execute". */
+inline constexpr int kNoPred = -1;
+/** Number of predicate registers per thread. */
+inline constexpr unsigned kNumPredRegs = 8;
+/** Number of general registers per thread. */
+inline constexpr unsigned kNumRegs = 256;
+
+/**
+ * One SASS-like instruction.
+ *
+ * Memory instructions compute their address as `src[0] + imm_offset`
+ * where src[0] is the address register. The LMI hint bits live in
+ * `hints` and are populated by the compiler's LMI pass.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    int dst = -1;                 ///< destination register (or pred for ISETP)
+    Operand src[kMaxSrcs];
+    int guard_pred = kNoPred;     ///< execute only if predicate holds
+    bool guard_neg = false;       ///< negate the guard
+    CmpOp cmp = CmpOp::EQ;        ///< ISETP condition
+    int64_t imm_offset = 0;       ///< memory address offset
+    uint8_t width = 4;            ///< memory access width in bytes
+    int branch_target = -1;       ///< BRA: absolute instruction index
+    OcuHints hints;               ///< LMI A/S hint bits (microcode [28:27])
+
+    /** Render a human-readable disassembly line. */
+    std::string toString() const;
+};
+
+/** Driver-visible placement of one static buffer (stack or shared). */
+struct BufferSlot
+{
+    uint64_t offset = 0;    ///< byte offset within the frame / shared region
+    uint64_t requested = 0; ///< bytes the kernel declared
+    uint64_t reserved = 0;  ///< bytes the layout policy reserved
+    uint64_t tag = 0;       ///< pointer-tagging id (cuCatch-style), 0 = none
+};
+
+/**
+ * A compiled kernel: straight-line instruction storage with absolute
+ * branch targets, plus the launch-time metadata the driver needs.
+ */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+    /** Stack-frame buffer map (offsets relative to the frame base). */
+    std::vector<BufferSlot> frame_slots;
+    /** Static shared-memory buffer map. */
+    std::vector<BufferSlot> shared_slots;
+    /** Bytes of per-thread local (stack) memory the kernel uses. */
+    uint64_t frame_bytes = 0;
+    /** Bytes of statically declared shared memory per block. */
+    uint64_t static_shared_bytes = 0;
+    /** Number of kernel parameters (8 bytes each, in constant bank 0). */
+    unsigned num_params = 0;
+    /** Byte offset of the first parameter in constant bank 0. */
+    static constexpr uint64_t kParamBase = 0x160;
+    /** Byte offset of the stack-pointer word in constant bank 0 (Fig. 7). */
+    static constexpr uint64_t kStackPtrOffset = 0x28;
+    /** Byte offset of the driver-prepared dynamic-shared base pointer. */
+    static constexpr uint64_t kDynSharedOffset = 0x30;
+
+    /** Full disassembly (one line per instruction). */
+    std::string disassemble() const;
+
+    /** Basic structural validation; throws FatalError on malformed code. */
+    void validate() const;
+};
+
+} // namespace lmi

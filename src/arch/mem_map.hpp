@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated virtual-address map.
+ *
+ * The GPU exposes distinct memory spaces (paper §II-A); each gets its own
+ * region of the 59-bit address space left below the extent field:
+ *
+ *  - global memory: one large region shared by all threads; the device
+ *    heap (kernel malloc) is carved out of its top;
+ *  - local memory: a per-thread window. As on real GPUs all threads use
+ *    the *same* local virtual addresses and address translation maps them
+ *    to distinct physical locations, the simulator translates
+ *    (thread, local VA) -> physical;
+ *  - shared memory: per-block scratchpad addressed from 0.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace lmi {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/** Base virtual address of device global memory. */
+inline constexpr uint64_t kGlobalBase = 0x1'0000'0000ull; // 4 GiB
+/** Size of device global memory (Table IV: 8 GB HBM). */
+inline constexpr uint64_t kGlobalSize = 8 * kGiB;
+
+/** Device-heap (kernel malloc) region inside global memory. */
+inline constexpr uint64_t kHeapBase = kGlobalBase + 6 * kGiB;
+inline constexpr uint64_t kHeapSize = 2 * kGiB;
+
+/** Per-thread local-memory (stack) virtual window, starting at this VA. */
+inline constexpr uint64_t kLocalBase = 0x0010'0000ull;
+/** Size of each thread's local window. */
+inline constexpr uint64_t kLocalWindow = 512 * kKiB;
+
+/** Shared-memory space: per-block, addressed from 0. */
+inline constexpr uint64_t kSharedBase = 0x0;
+/** Shared memory capacity per SM (Table IV pairs it with the 96KB L1). */
+inline constexpr uint64_t kSharedCapacity = 96 * kKiB;
+
+/** True iff @p addr (extent-stripped) lies in the global region. */
+constexpr bool
+inGlobalRegion(uint64_t addr)
+{
+    return addr >= kGlobalBase && addr < kGlobalBase + kGlobalSize;
+}
+
+/** True iff @p addr lies in the device-heap subregion. */
+constexpr bool
+inHeapRegion(uint64_t addr)
+{
+    return addr >= kHeapBase && addr < kHeapBase + kHeapSize;
+}
+
+/** True iff @p addr lies in a thread's local window. */
+constexpr bool
+inLocalRegion(uint64_t addr)
+{
+    return addr >= kLocalBase && addr < kLocalBase + kLocalWindow;
+}
+
+} // namespace lmi

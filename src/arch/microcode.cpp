@@ -1,0 +1,168 @@
+#include "arch/microcode.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace lmi {
+
+namespace {
+
+/** Marker in a small-value field: the operand's value is in the wide slot. */
+constexpr uint64_t kWideMarker = 0xFF;
+
+/** True when this operand's value fits the 8-bit small field directly. */
+bool
+usesSmallField(const Operand& o)
+{
+    switch (o.kind) {
+      case Operand::Kind::None:
+        return true; // encoded as value 0
+      case Operand::Kind::Reg:
+      case Operand::Kind::Special:
+        return true;
+      case Operand::Kind::Imm:
+      case Operand::Kind::CBank:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isEncodable(const Instruction& inst)
+{
+    unsigned wide_users = 0;
+    for (const auto& o : inst.src) {
+        if (usesSmallField(o)) {
+            if (o.value >= kWideMarker && !o.isNone())
+                return false;
+        } else {
+            if (o.value > 0xFFFFFFFFull)
+                return false;
+            ++wide_users;
+        }
+    }
+    if (inst.op == Opcode::BRA) {
+        if (inst.branch_target > 0x7FFFFFFF)
+            return false;
+        ++wide_users;
+    }
+    if (wide_users > 1)
+        return false;
+    if (inst.imm_offset < -(1 << 23) || inst.imm_offset >= (1 << 23))
+        return false;
+    return true;
+}
+
+Microcode
+packMicrocode(const Instruction& inst)
+{
+    if (!isEncodable(inst))
+        lmi_fatal("instruction not encodable as 128-bit microcode: %s",
+                  inst.toString().c_str());
+
+    Microcode mc;
+    mc.lo = insertBits(mc.lo, 11, 0, uint64_t(inst.op));
+    mc.lo = insertBits(mc.lo, 20, 12, uint64_t(inst.dst + 1));
+    mc.lo = insertBits(mc.lo, 24, 21, uint64_t(inst.guard_pred + 1));
+    mc.lo = insertBits(mc.lo, 25, 25, inst.guard_neg ? 1 : 0);
+    mc.lo = insertBits(mc.lo, kHintBitS, kHintBitS,
+                       inst.hints.pointer_operand & 1);
+    mc.lo = insertBits(mc.lo, kHintBitA, kHintBitA, inst.hints.active ? 1 : 0);
+    mc.lo = insertBits(mc.lo, 31, 29, uint64_t(inst.cmp));
+    mc.lo = insertBits(mc.lo, 35, 32, inst.width);
+
+    uint64_t wide_value = 0;
+    if (inst.op == Opcode::BRA)
+        wide_value = uint64_t(inst.branch_target);
+
+    const unsigned kind_lo[kMaxSrcs] = {36, 39, 42};
+    uint64_t small[kMaxSrcs] = {0, 0, 0};
+    for (unsigned i = 0; i < kMaxSrcs; ++i) {
+        const Operand& o = inst.src[i];
+        mc.lo = insertBits(mc.lo, kind_lo[i] + 2, kind_lo[i],
+                           uint64_t(o.kind));
+        if (usesSmallField(o)) {
+            small[i] = o.isNone() ? 0 : o.value;
+        } else {
+            small[i] = kWideMarker;
+            wide_value = o.value;
+        }
+    }
+    mc.lo = insertBits(mc.lo, 52, 45, small[0]);
+    mc.lo = insertBits(mc.lo, 60, 53, small[1]);
+
+    mc.hi = insertBits(mc.hi, 7, 0, small[2]);
+    mc.hi = insertBits(mc.hi, 31, 8,
+                       uint64_t(inst.imm_offset) & lowMask(24));
+    mc.hi = insertBits(mc.hi, 63, 32, wide_value);
+    return mc;
+}
+
+Instruction
+unpackMicrocode(const Microcode& mc)
+{
+    Instruction inst;
+    inst.op = Opcode(bitsOf(mc.lo, 11, 0));
+    inst.dst = int(bitsOf(mc.lo, 20, 12)) - 1;
+    inst.guard_pred = int(bitsOf(mc.lo, 24, 21)) - 1;
+    inst.guard_neg = bitsOf(mc.lo, 25, 25) != 0;
+    inst.hints.pointer_operand = unsigned(bitsOf(mc.lo, kHintBitS, kHintBitS));
+    inst.hints.active = bitsOf(mc.lo, kHintBitA, kHintBitA) != 0;
+    inst.cmp = CmpOp(bitsOf(mc.lo, 31, 29));
+    inst.width = uint8_t(bitsOf(mc.lo, 35, 32));
+
+    const uint64_t wide_value = bitsOf(mc.hi, 63, 32);
+    // Sign-extend the 24-bit offset.
+    uint64_t off = bitsOf(mc.hi, 31, 8);
+    if (off & (uint64_t(1) << 23))
+        off |= ~lowMask(24);
+    inst.imm_offset = int64_t(off);
+
+    const unsigned kind_lo[kMaxSrcs] = {36, 39, 42};
+    const uint64_t small[kMaxSrcs] = {
+        bitsOf(mc.lo, 52, 45),
+        bitsOf(mc.lo, 60, 53),
+        bitsOf(mc.hi, 7, 0),
+    };
+    for (unsigned i = 0; i < kMaxSrcs; ++i) {
+        Operand& o = inst.src[i];
+        o.kind = Operand::Kind(bitsOf(mc.lo, kind_lo[i] + 2, kind_lo[i]));
+        if (o.kind == Operand::Kind::None) {
+            o.value = 0;
+        } else if (small[i] == kWideMarker && !usesSmallField(o)) {
+            o.value = wide_value;
+        } else {
+            o.value = small[i];
+        }
+    }
+
+    if (inst.op == Opcode::BRA)
+        inst.branch_target = int(wide_value);
+    return inst;
+}
+
+std::string
+microcodeToString(const Microcode& mc)
+{
+    std::ostringstream s;
+    auto emit_word = [&](uint64_t w, int top, int bottom) {
+        for (int b = top; b >= bottom; --b) {
+            s << ((w >> b) & 1);
+            if (b % 8 == 0 && b != bottom)
+                s << '_';
+        }
+    };
+    s << "[127:64] ";
+    emit_word(mc.hi, 63, 0);
+    s << "\n[63:0]   ";
+    emit_word(mc.lo, 63, 0);
+    s << "\n          A=" << mc.activationBit() << " (bit " << kHintBitA
+      << "), S=" << mc.selectionBit() << " (bit " << kHintBitS << ")";
+    return s.str();
+}
+
+} // namespace lmi

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * 128-bit instruction microcode codec (paper §VI-B, Fig. 9).
+ *
+ * NVIDIA GPUs since Volta use a 128-bit instruction word whose reserved
+ * field (between the control information and the instruction encoding)
+ * leaves 13-14 unused bits; LMI repurposes two of them:
+ *
+ *   bit [28] — Activation (A): this instruction manipulates a pointer and
+ *              the OCU must check it;
+ *   bit [27] — Selection (S): which source operand holds the pointer.
+ *
+ * This codec packs the in-memory Instruction representation into a
+ * concrete 128-bit layout that honors those bit positions exactly, so the
+ * decoder-side hint extraction in the simulator reads real bits rather
+ * than side-band metadata.
+ *
+ * Layout, low word (bits 63..0):
+ *
+ *   [11:0]   opcode
+ *   [20:12]  dst register + 1 (0 = no destination)
+ *   [24:21]  guard predicate + 1 (0 = always execute)
+ *   [25]     guard negate
+ *   [26]     reserved (always 0)
+ *   [27]     S hint  <- paper Fig. 9
+ *   [28]     A hint  <- paper Fig. 9
+ *   [31:29]  ISETP comparison op
+ *   [35:32]  memory access width (bytes)
+ *   [38:36]  src0 operand kind
+ *   [41:39]  src1 operand kind
+ *   [44:42]  src2 operand kind
+ *   [52:45]  src0 small value (register index / special id; 0xFF = wide)
+ *   [60:53]  src1 small value
+ *   [63:61]  reserved (always 0)
+ *
+ * High word (bits 127..64):
+ *
+ *   [71:64]   src2 small value
+ *   [95:72]   signed 24-bit memory immediate offset
+ *   [127:96]  32-bit wide value (one immediate / c-bank offset / branch
+ *             target per instruction)
+ *
+ * Instructions whose immediates do not fit (e.g. a 64-bit literal) are
+ * rejected by pack(); the code generator materializes such values through
+ * MOV32I-style two-step sequences or the constant bank, as real SASS does.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "arch/isa.hpp"
+
+namespace lmi {
+
+/** Bit position of the Activation hint (paper Fig. 9). */
+inline constexpr unsigned kHintBitA = 28;
+/** Bit position of the Selection hint (paper Fig. 9). */
+inline constexpr unsigned kHintBitS = 27;
+
+/** A packed 128-bit instruction word. */
+struct Microcode
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const Microcode&) const = default;
+
+    /** Raw Activation bit, as the decoder would read it. */
+    bool activationBit() const { return (lo >> kHintBitA) & 1; }
+    /** Raw Selection bit. */
+    bool selectionBit() const { return (lo >> kHintBitS) & 1; }
+};
+
+/**
+ * Pack an instruction into its 128-bit microcode word.
+ * Throws FatalError when a field does not fit the encoding.
+ */
+Microcode packMicrocode(const Instruction& inst);
+
+/** Unpack a microcode word back into an Instruction. */
+Instruction unpackMicrocode(const Microcode& mc);
+
+/** True when @p inst is representable by this codec. */
+bool isEncodable(const Instruction& inst);
+
+/** Render the 128-bit word as binary with the A/S bits marked. */
+std::string microcodeToString(const Microcode& mc);
+
+} // namespace lmi

@@ -1,0 +1,63 @@
+#include "common/logging.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace lmi {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail {
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+messageImpl(const char* tag, const std::string& msg)
+{
+    if (g_verbose)
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+std::string
+formatv(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? size_t(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+} // namespace detail
+} // namespace lmi

@@ -1,0 +1,23 @@
+#include "core/fault.hpp"
+
+namespace lmi {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SpatialOverflow:      return "spatial-overflow";
+      case FaultKind::InvalidExtent:        return "invalid-extent";
+      case FaultKind::UseAfterFree:         return "use-after-free";
+      case FaultKind::UseAfterScope:        return "use-after-scope";
+      case FaultKind::InvalidFree:          return "invalid-free";
+      case FaultKind::DoubleFree:           return "double-free";
+      case FaultKind::CanaryCorruption:     return "canary-corruption";
+      case FaultKind::RegionOverflow:       return "region-overflow";
+      case FaultKind::TripwireHit:          return "tripwire-hit";
+      case FaultKind::CompileTimeViolation: return "compile-time-violation";
+    }
+    return "unknown";
+}
+
+} // namespace lmi

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory-safety fault taxonomy shared by every protection mechanism.
+ *
+ * A Fault is what a mechanism raises when it detects a violation; the
+ * security harness (Table III) compares raised faults against each test
+ * case's expectation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lmi {
+
+/** What kind of violation a mechanism detected. */
+enum class FaultKind {
+    /** Out-of-bounds pointer dereferenced (LMI: extent cleared by OCU). */
+    SpatialOverflow,
+    /** Dereference through a pointer whose extent field is zero/invalid. */
+    InvalidExtent,
+    /** Use-after-free on heap/global memory. */
+    UseAfterFree,
+    /** Use-after-scope on stack (local) memory. */
+    UseAfterScope,
+    /** free() of a pointer that was never allocated. */
+    InvalidFree,
+    /** free() of an already-freed pointer. */
+    DoubleFree,
+    /** Canary bytes found corrupted (GMOD/clARMOR style, end-of-kernel). */
+    CanaryCorruption,
+    /** Access outside a coarse region (GPUShield style). */
+    RegionOverflow,
+    /** Tripwire / red-zone hit (Compute Sanitizer memcheck style). */
+    TripwireHit,
+    /** Compile-time rejection (LMI: inttoptr / ptrtoint found in IR). */
+    CompileTimeViolation,
+};
+
+/** Human-readable name for @p kind. */
+const char* faultKindName(FaultKind kind);
+
+/** A detected memory-safety violation. */
+struct Fault
+{
+    FaultKind kind;
+    /** Offending simulated virtual address (0 when not applicable). */
+    uint64_t address = 0;
+    /** Free-form diagnostic, e.g. which buffer and which access. */
+    std::string detail;
+};
+
+/** Convenience alias: mechanisms return a fault or nothing. */
+using MaybeFault = std::optional<Fault>;
+
+} // namespace lmi

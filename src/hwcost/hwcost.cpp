@@ -1,0 +1,139 @@
+#include "hwcost/hwcost.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace lmi {
+
+double
+UnitCost::totalGates() const
+{
+    double total = 0.0;
+    for (const auto& c : components)
+        total += c.gates;
+    return total;
+}
+
+unsigned
+UnitCost::totalLevels() const
+{
+    unsigned total = 0;
+    for (const auto& c : components)
+        total += c.levels;
+    return total;
+}
+
+UnitCost
+ocuCost(const GateLibrary& lib)
+{
+    // The OCU datapath (paper §VII, Table VI: "4x gate, subtract,
+    // shift, comparator"). Only bits [63:8] can ever differ legally
+    // (K = 256 fixes the bottom eight bits as always-modifiable), so the
+    // masked compare is 56 bits wide.
+    constexpr unsigned kCheckBits = 56;
+
+    UnitCost unit;
+    unit.unit = "OCU";
+    unit.per = "thread";
+    unit.verification_scope = "ALU (INT only), LSU";
+
+    // Hint decode + operand-select control (the 64-bit operand mux is
+    // shared with the ALU's existing bypass network; only its control
+    // differs): a handful of gates. One level on the critical path.
+    unit.components.push_back({"hint decode + select control",
+                               3 * lib.nand2 + 2 * lib.inv, 1});
+
+    // Extent-offset subtract: E + log2(K) - 1 on 5 bits. Runs in
+    // parallel with the hint decode: zero levels on the critical path.
+    unit.components.push_back({"extent offset adder (5b, off-path)",
+                               5 * lib.full_adder * 0.35, 0});
+
+    // Thermometer mask decoder: 5-bit extent -> 56-bit mask, a shared
+    // prefix structure. In parallel with the XOR stage; the two levels
+    // here bound that parallel region.
+    unit.components.push_back({"mask generator (thermometer 56b)",
+                               kCheckBits * 0.38 * lib.nand2, 2});
+
+    // Bit-sliced masked compare: XOR + mask-AND folded into an AOI
+    // slice per checked bit.
+    unit.components.push_back({"masked XOR compare (56b AOI slices)",
+                               kCheckBits * (lib.xor2 * 0.53 +
+                                             lib.nand2 * 0.45), 2});
+
+    // Zero detect: 56-input NOR reduction tree (radix-4).
+    unit.components.push_back({"zero-detect tree", 17 * lib.nand2, 2});
+
+    // Extent-clear gating on writeback: 5 AND gates driven by the
+    // detect signal (register-enable timing, off the check path).
+    unit.components.push_back({"extent clear / poison gate (off-path)",
+                               5 * lib.and2 + lib.nand2, 0});
+    return unit;
+}
+
+UnitCost
+extentCheckerCost(const GateLibrary& lib)
+{
+    UnitCost unit;
+    unit.unit = "EC";
+    unit.per = "LSU port";
+    unit.verification_scope = "LSU";
+    // Zero/debug-range detect over the 5 extent bits plus fault encode.
+    unit.components.push_back({"extent range detect (5b)",
+                               5 * lib.nand2 + 2 * lib.inv, 2});
+    unit.components.push_back({"fault encode", 4 * lib.nand2, 1});
+    return unit;
+}
+
+double
+criticalPathNs(const UnitCost& unit, const GateLibrary& lib)
+{
+    return unit.totalLevels() * lib.level_delay_ns;
+}
+
+double
+fMaxGHz(const UnitCost& unit, const GateLibrary& lib)
+{
+    const double path = criticalPathNs(unit, lib);
+    if (path <= 0.0)
+        lmi_fatal("unit %s has no logic depth", unit.unit.c_str());
+    return 1.0 / path;
+}
+
+PipelinePlan
+planPipeline(const UnitCost& unit, double target_ghz, const GateLibrary& lib)
+{
+    PipelinePlan plan;
+    const double cycle_ns = 1.0 / target_ghz;
+    const double path = criticalPathNs(unit, lib);
+    const unsigned stages = unsigned(std::ceil(path / cycle_ns));
+    plan.register_slices = stages > 1 ? stages - 1 : 0;
+    // Check latency equals the pipeline depth (paper §XI-C: two register
+    // slices -> three-cycle delay).
+    plan.check_latency_cycles = stages;
+    plan.slice_gates = double(plan.register_slices) * 64.0 * lib.dff;
+    return plan;
+}
+
+std::vector<ComparisonRow>
+hardwareComparison(const GateLibrary& lib)
+{
+    std::vector<ComparisonRow> rows;
+    // Literature values quoted by the paper (Table VI), same provenance.
+    rows.push_back({"No-Fat", "Bounds checking, base computing", 59476,
+                    "core", 1024, "LSU, NoC, cache", false});
+    rows.push_back({"C3", "Keystream generator (Ascon)", 27280, "core", 0,
+                    "LSU, NoC, cache", false});
+    rows.push_back({"IMT", "Tag logic in ECC", 900, "SM", 0,
+                    "Memctrl, ECC, cache", false});
+    rows.push_back({"GPUShield", "2-level RCache, comparator", 1000,
+                    "warp", 910, "LSU, NoC, cache", false});
+
+    const UnitCost ocu = ocuCost(lib);
+    rows.push_back({"LMI", "4x gate, subtract, shift, comparator",
+                    ocu.totalGates(), "thread", 0,
+                    ocu.verification_scope, true});
+    return rows;
+}
+
+} // namespace lmi

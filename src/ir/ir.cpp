@@ -1,0 +1,314 @@
+#include "ir/ir.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace lmi::ir {
+
+unsigned
+Type::accessWidth() const
+{
+    switch (kind) {
+      case Kind::I32:
+      case Kind::F32:
+        return 4;
+      case Kind::I64:
+      case Kind::Ptr:
+        return 8;
+      case Kind::Void:
+        return 0;
+    }
+    return 0;
+}
+
+std::string
+Type::toString() const
+{
+    switch (kind) {
+      case Kind::Void: return "void";
+      case Kind::I32:  return "i32";
+      case Kind::I64:  return "i64";
+      case Kind::F32:  return "f32";
+      case Kind::Ptr: {
+        std::ostringstream s;
+        s << "ptr<" << elem_size << "," << memSpaceName(space) << ">";
+        return s.str();
+      }
+    }
+    return "?";
+}
+
+const char*
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::ConstInt:   return "const";
+      case IrOp::ConstFloat: return "fconst";
+      case IrOp::Param:      return "param";
+      case IrOp::Alloca:     return "alloca";
+      case IrOp::SharedRef:  return "sharedref";
+      case IrOp::DynSharedRef: return "dynsharedref";
+      case IrOp::Gep:        return "gep";
+      case IrOp::PtrAddByte: return "ptraddbyte";
+      case IrOp::FieldGep:   return "fieldgep";
+      case IrOp::Load:       return "load";
+      case IrOp::Store:      return "store";
+      case IrOp::IAdd:       return "iadd";
+      case IrOp::ISub:       return "isub";
+      case IrOp::IMul:       return "imul";
+      case IrOp::IMin:       return "imin";
+      case IrOp::IShl:       return "ishl";
+      case IrOp::IShr:       return "ishr";
+      case IrOp::IAnd:       return "iand";
+      case IrOp::IOr:        return "ior";
+      case IrOp::IXor:       return "ixor";
+      case IrOp::FAdd:       return "fadd";
+      case IrOp::FMul:       return "fmul";
+      case IrOp::FFma:       return "ffma";
+      case IrOp::FRcp:       return "frcp";
+      case IrOp::ICmp:       return "icmp";
+      case IrOp::Br:         return "br";
+      case IrOp::Jump:       return "jump";
+      case IrOp::Ret:        return "ret";
+      case IrOp::Phi:        return "phi";
+      case IrOp::Barrier:    return "barrier";
+      case IrOp::Malloc:     return "malloc";
+      case IrOp::Free:       return "free";
+      case IrOp::IntToPtr:   return "inttoptr";
+      case IrOp::PtrToInt:   return "ptrtoint";
+      case IrOp::Call:       return "call";
+      case IrOp::ScopeEnd:   return "scope_end";
+      case IrOp::Tid:        return "tid";
+      case IrOp::CtaId:      return "ctaid";
+      case IrOp::NTid:       return "ntid";
+      case IrOp::NCtaId:     return "nctaid";
+      case IrOp::GlobalTid:  return "gtid";
+    }
+    return "?";
+}
+
+bool
+isIntArith(IrOp op)
+{
+    switch (op) {
+      case IrOp::IAdd:
+      case IrOp::ISub:
+      case IrOp::IMul:
+      case IrOp::IMin:
+      case IrOp::IShl:
+      case IrOp::IShr:
+      case IrOp::IAnd:
+      case IrOp::IOr:
+      case IrOp::IXor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTerminator(IrOp op)
+{
+    return op == IrOp::Br || op == IrOp::Jump || op == IrOp::Ret;
+}
+
+std::string
+IrFunction::toString() const
+{
+    std::ostringstream s;
+    s << "define " << ret_type.toString() << " @" << name << "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            s << ", ";
+        s << params[i].type.toString() << " %" << params[i].name;
+    }
+    s << ") {\n";
+    for (const auto& [buf, size] : shared_buffers)
+        s << "  shared @" << buf << " [" << size << " x i8]\n";
+    for (BlockId b = 0; b < blocks.size(); ++b) {
+        s << blocks[b].label << ":\n";
+        for (ValueId v : blocks[b].insts) {
+            const IrInst& in = inst(v);
+            s << "  ";
+            if (!in.type.isVoid())
+                s << "%" << v << " = ";
+            s << irOpName(in.op);
+            if (in.op == IrOp::ICmp)
+                s << "." << cmpOpName(in.cmp);
+            if (in.op == IrOp::ConstInt || in.op == IrOp::Alloca ||
+                in.op == IrOp::Param) {
+                s << " " << in.imm;
+            }
+            if (in.op == IrOp::FieldGep)
+                s << " off=" << in.imm << " size=" << in.aux;
+            if (in.op == IrOp::ConstFloat) {
+                // Max precision so the text form round-trips exactly.
+                char buf[40];
+                std::snprintf(buf, sizeof(buf), " %.17g", in.fimm);
+                s << buf;
+            }
+            if (!in.name.empty())
+                s << " @" << in.name;
+            for (size_t i = 0; i < in.ops.size(); ++i) {
+                s << (i ? ", " : " ") << "%" << in.ops[i];
+                if (in.op == IrOp::Phi)
+                    s << " [" << blocks[in.phi_blocks[i]].label << "]";
+            }
+            if (in.op == IrOp::Br)
+                s << " ? " << blocks[in.tbb].label << " : "
+                  << blocks[in.fbb].label;
+            if (in.op == IrOp::Jump)
+                s << " -> " << blocks[in.tbb].label;
+            if (!in.type.isVoid())
+                s << " : " << in.type.toString();
+            s << "\n";
+        }
+    }
+    s << "}\n";
+    return s.str();
+}
+
+IrFunction*
+IrModule::find(const std::string& fname)
+{
+    for (auto& f : functions)
+        if (f.name == fname)
+            return &f;
+    return nullptr;
+}
+
+const IrFunction*
+IrModule::find(const std::string& fname) const
+{
+    for (const auto& f : functions)
+        if (f.name == fname)
+            return &f;
+    return nullptr;
+}
+
+namespace {
+
+void
+checkOperandCount(const IrFunction& f, const IrInst& in, size_t expected)
+{
+    if (in.ops.size() != expected)
+        lmi_fatal("%s: %s expects %zu operands, has %zu", f.name.c_str(),
+                  irOpName(in.op), expected, in.ops.size());
+}
+
+} // namespace
+
+void
+verify(const IrFunction& f)
+{
+    if (f.blocks.empty())
+        lmi_fatal("%s: function has no blocks", f.name.c_str());
+
+    for (BlockId b = 0; b < f.blocks.size(); ++b) {
+        const IrBlock& block = f.blocks[b];
+        if (block.insts.empty())
+            lmi_fatal("%s: block %s is empty", f.name.c_str(),
+                      block.label.c_str());
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const ValueId v = block.insts[i];
+            if (v == kNoValue || v >= f.values.size())
+                lmi_fatal("%s: invalid value id %u", f.name.c_str(), v);
+            const IrInst& in = f.inst(v);
+            const bool last = i + 1 == block.insts.size();
+            if (isTerminator(in.op) != last)
+                lmi_fatal("%s: terminator placement error in block %s",
+                          f.name.c_str(), block.label.c_str());
+
+            for (ValueId o : in.ops)
+                if (o == kNoValue || o >= f.values.size())
+                    lmi_fatal("%s: %s has invalid operand id %u",
+                              f.name.c_str(), irOpName(in.op), o);
+
+            switch (in.op) {
+              case IrOp::Gep:
+              case IrOp::PtrAddByte:
+                checkOperandCount(f, in, 2);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: %s base is not a pointer",
+                              f.name.c_str(), irOpName(in.op));
+                if (!f.inst(in.ops[1]).type.isInt())
+                    lmi_fatal("%s: %s index is not an integer",
+                              f.name.c_str(), irOpName(in.op));
+                break;
+              case IrOp::FieldGep:
+                checkOperandCount(f, in, 1);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: fieldgep base is not a pointer",
+                              f.name.c_str());
+                if (in.aux == 0)
+                    lmi_fatal("%s: fieldgep with zero field size",
+                              f.name.c_str());
+                break;
+              case IrOp::Load:
+                checkOperandCount(f, in, 1);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: load address is not a pointer",
+                              f.name.c_str());
+                break;
+              case IrOp::Store:
+                checkOperandCount(f, in, 2);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: store address is not a pointer",
+                              f.name.c_str());
+                break;
+              case IrOp::Br:
+                checkOperandCount(f, in, 1);
+                if (in.tbb >= f.blocks.size() || in.fbb >= f.blocks.size())
+                    lmi_fatal("%s: br target out of range", f.name.c_str());
+                break;
+              case IrOp::Jump:
+                if (in.tbb >= f.blocks.size())
+                    lmi_fatal("%s: jump target out of range",
+                              f.name.c_str());
+                break;
+              case IrOp::Phi:
+                if (in.ops.size() != in.phi_blocks.size() || in.ops.empty())
+                    lmi_fatal("%s: malformed phi", f.name.c_str());
+                for (BlockId pb : in.phi_blocks)
+                    if (pb >= f.blocks.size())
+                        lmi_fatal("%s: phi predecessor out of range",
+                                  f.name.c_str());
+                break;
+              case IrOp::Param:
+                if (in.imm < 0 || size_t(in.imm) >= f.params.size())
+                    lmi_fatal("%s: param index %lld out of range",
+                              f.name.c_str(),
+                              static_cast<long long>(in.imm));
+                break;
+              case IrOp::SharedRef: {
+                bool found = false;
+                for (const auto& [bname, sz] : f.shared_buffers)
+                    found |= bname == in.name;
+                if (!found)
+                    lmi_fatal("%s: sharedref to unknown buffer '%s'",
+                              f.name.c_str(), in.name.c_str());
+                break;
+              }
+              case IrOp::Malloc:
+              case IrOp::Free:
+                checkOperandCount(f, in, 1);
+                break;
+              default:
+                if (isIntArith(in.op) || in.op == IrOp::ICmp)
+                    checkOperandCount(f, in, 2);
+                break;
+            }
+        }
+    }
+}
+
+void
+verify(const IrModule& m)
+{
+    for (const auto& f : m.functions)
+        verify(f);
+}
+
+} // namespace lmi::ir

@@ -1,0 +1,112 @@
+#include "mechanisms/gpushield.hpp"
+
+#include "arch/mem_map.hpp"
+#include "compiler/codegen.hpp" // tag helpers
+
+namespace lmi {
+
+GpuShieldMechanism::GpuShieldMechanism(Options options)
+    : options_(options),
+      rcache_(uint64_t(options.rcache_entries) * 16, options.rcache_assoc,
+              16)
+{
+}
+
+uint64_t
+GpuShieldMechanism::canonical(uint64_t ptr) const
+{
+    return untag(ptr);
+}
+
+uint64_t
+GpuShieldMechanism::onHostAlloc(uint64_t ptr, uint64_t requested)
+{
+    const uint64_t id = next_id_++;
+    bounds_table_[id] = {ptr, requested};
+    if (state_.stats)
+        state_.stats->inc("gpushield.buffers");
+    return withTag(ptr, id);
+}
+
+MemCheck
+GpuShieldMechanism::onMemAccess(const MemAccess& access)
+{
+    MemCheck result;
+    const uint64_t addr = untag(access.reg_value) +
+                          uint64_t(access.imm_offset);
+    result.address = addr;
+
+    switch (access.space) {
+      case MemSpace::Global: {
+        const uint64_t tag = tagOf(access.reg_value);
+        if (tag != 0) {
+            auto it = bounds_table_.find(tag);
+            if (it != bounds_table_.end()) {
+                // RCache probe: one bounds entry per (buffer, region
+                // chunk). A miss fetches the entry from L2.
+                const uint64_t granule = addr / options_.entry_granule;
+                const uint64_t key = (tag << 20) ^ granule;
+                // Next-granule prefetch: sequential sweeps pre-fill the
+                // RCache, so only non-sequential (uncoalesced) streams
+                // pay the refill — the needle/LSTM effect of Fig. 12.
+                uint64_t& last = last_granule_[tag];
+                const bool sequential =
+                    granule == last || granule == last + 1;
+                last = granule;
+                if (!rcache_.access(key * 16) && !sequential) {
+                    result.extra_cycles = options_.miss_penalty;
+                    result.serialize_cycles =
+                        options_.miss_fill_occupancy;
+                    if (state_.stats)
+                        state_.stats->inc("gpushield.rcache_misses");
+                }
+                if (state_.stats)
+                    state_.stats->inc("gpushield.rcache_probes");
+
+                const Bounds& b = it->second;
+                if (addr < b.base || addr + access.width > b.base + b.size) {
+                    Fault fault;
+                    fault.kind = FaultKind::RegionOverflow;
+                    fault.address = addr;
+                    fault.detail = "GPUShield: access outside buffer region";
+                    result.fault = fault;
+                }
+                return result;
+            }
+        }
+        // Untagged global access: device-heap pointer (kernel-argument
+        // buffers are all tagged) — only the whole heap region is
+        // enforced (coarse-grained, Table III).
+        if (!inHeapRegion(addr)) {
+            Fault fault;
+            fault.kind = FaultKind::RegionOverflow;
+            fault.address = addr;
+            fault.detail = "GPUShield: access escaped the heap region";
+            result.fault = fault;
+        }
+        return result;
+      }
+
+      case MemSpace::Local:
+        // Coarse whole-stack check: the access must stay inside the
+        // thread's local window (frame-to-frame overflows pass).
+        if (addr < kLocalBase || addr >= kLocalBase + kLocalWindow) {
+            Fault fault;
+            fault.kind = FaultKind::RegionOverflow;
+            fault.address = addr;
+            fault.detail = "GPUShield: access escaped the local region";
+            result.fault = fault;
+        }
+        return result;
+
+      case MemSpace::Shared:
+        // Not protected (Table II/III).
+        return result;
+
+      case MemSpace::Constant:
+        return result;
+    }
+    return result;
+}
+
+} // namespace lmi

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GPUShield (ISCA'22) model: hardware region-based bounds checking with
+ * pointer tagging (paper §II-D, §X-A, the Fig. 12 hardware baseline).
+ *
+ * Semantics reproduced from the paper's description:
+ *  - kernel-argument (cudaMalloc) buffers get a buffer id in the unused
+ *    upper pointer bits; a bounds table maps id -> [base, base+size);
+ *  - an RCache (a small per-SM bounds cache, smaller than the L1 D$)
+ *    holds recently used bounds entries; a miss stalls the access while
+ *    the entry is fetched from L2 — the source of the needle/LSTM
+ *    overheads in Fig. 12, triggered by uncoalesced access streams;
+ *  - heap and stack are protected only as whole regions (coarse), so
+ *    intra-heap/intra-stack overflows pass (Table III);
+ *  - shared memory and temporal safety are not covered.
+ */
+
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/cache.hpp"
+#include "sim/mechanism.hpp"
+
+namespace lmi {
+
+class GpuShieldMechanism : public ProtectionMechanism
+{
+  public:
+    struct Options
+    {
+        /** RCache capacity in bounds entries. */
+        unsigned rcache_entries = 64;
+        unsigned rcache_assoc = 2;
+        /**
+         * Address granule per RCache entry: bounds are cached per
+         * (buffer, region chunk), so scattered streams touch many
+         * entries while dense streams reuse one.
+         */
+        uint64_t entry_granule = 512;
+        /** Added latency of a missing bounds entry (L2 round trip). */
+        unsigned miss_penalty = 200;
+        /**
+         * LSU-port cycles a bounds refill occupies (the fill competes
+         * with data accesses for the single load path) — the throughput
+         * cost behind needle/LSTM in Fig. 12.
+         */
+        unsigned miss_fill_occupancy = 11;
+    };
+
+    GpuShieldMechanism() : GpuShieldMechanism(Options{}) {}
+    explicit GpuShieldMechanism(Options options);
+
+    std::string name() const override { return "gpushield"; }
+
+    uint64_t canonical(uint64_t ptr) const override;
+    uint64_t onHostAlloc(uint64_t ptr, uint64_t requested) override;
+    MemCheck onMemAccess(const MemAccess& access) override;
+
+    /** RCache statistics (for the Fig. 12 analysis). */
+    uint64_t rcacheHits() const { return rcache_.hits(); }
+    uint64_t rcacheMisses() const { return rcache_.misses(); }
+
+  private:
+    struct Bounds
+    {
+        uint64_t base = 0;
+        uint64_t size = 0;
+    };
+
+    Options options_;
+    CacheModel rcache_;
+    std::unordered_map<uint64_t, Bounds> bounds_table_;
+    /** Per-buffer last-touched granule (sequential-prefetch detector). */
+    std::unordered_map<uint64_t, uint64_t> last_granule_;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace lmi

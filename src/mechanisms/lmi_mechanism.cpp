@@ -1,0 +1,149 @@
+#include "mechanisms/lmi_mechanism.hpp"
+
+#include "arch/mem_map.hpp"
+#include "common/logging.hpp"
+
+namespace lmi {
+
+LmiMechanism::LmiMechanism(Options options)
+    : options_(options), ocu_(options.codec), ec_()
+{
+}
+
+std::string
+LmiMechanism::name() const
+{
+    if (options_.subobject)
+        return "lmi+subobject";
+    return options_.liveness_tracking ? "lmi+liveness" : "lmi";
+}
+
+void
+LmiMechanism::bind(DeviceState state)
+{
+    ProtectionMechanism::bind(state);
+    if (options_.subobject && options_.liveness_tracking)
+        lmi_fatal("LMI options subobject and liveness_tracking are "
+                  "mutually exclusive");
+    ocu_ = Ocu(options_.codec, state_.stats, options_.subobject);
+    ec_ = ExtentChecker(state_.stats, options_.subobject);
+    if (options_.liveness_tracking) {
+        LivenessTracker::Config cfg;
+        cfg.page_invalidate_opt = options_.page_invalidate_opt;
+        liveness_.emplace(options_.codec, cfg, state_.stats);
+    }
+}
+
+CodegenOptions
+LmiMechanism::codegenOptions() const
+{
+    CodegenOptions opts;
+    opts.lmi = true;
+    opts.subobject = options_.subobject;
+    opts.codec = options_.codec;
+    return opts;
+}
+
+uint64_t
+LmiMechanism::onHostAlloc(uint64_t ptr, uint64_t requested)
+{
+    (void)requested;
+    if (liveness_)
+        liveness_->onMalloc(ptr);
+    return ptr;
+}
+
+MaybeFault
+LmiMechanism::onHostFree(uint64_t ptr)
+{
+    if (liveness_)
+        return liveness_->onFree(ptr);
+    return std::nullopt;
+}
+
+void
+LmiMechanism::onDeviceAlloc(uint64_t ptr, uint64_t requested)
+{
+    (void)requested;
+    if (liveness_)
+        liveness_->onMalloc(ptr);
+}
+
+MaybeFault
+LmiMechanism::onDeviceFree(uint64_t ptr)
+{
+    if (liveness_)
+        return liveness_->onFree(ptr);
+    return std::nullopt;
+}
+
+uint64_t
+LmiMechanism::onIntResult(const Instruction& inst, uint64_t ptr_in,
+                          uint64_t out)
+{
+    (void)inst;
+    return ocu_.check(ptr_in, out).out;
+}
+
+unsigned
+LmiMechanism::extraIntLatency(const Instruction& inst) const
+{
+    return inst.hints.active ? options_.ocu_latency : 0;
+}
+
+PoisonCause
+LmiMechanism::classifyZeroExtent(const MemAccess& access) const
+{
+    // The hardware only sees a zero extent; classification uses the
+    // allocator's ground truth the way a debugger (or the repurposed
+    // debug extent encodings of §IV-A3) would.
+    const uint64_t addr =
+        PointerCodec::addressOf(access.reg_value) +
+        uint64_t(access.imm_offset);
+    if (access.space == MemSpace::Local)
+        return PoisonCause::ScopeExit;
+    if (access.space == MemSpace::Global) {
+        if (inHeapRegion(addr)) {
+            // Device-heap address: live chunk means the pointer strayed
+            // spatially; a dead one means its buffer was freed.
+            if (state_.heap_alloc && state_.heap_alloc->findLive(addr))
+                return PoisonCause::Spatial;
+            return PoisonCause::Freed;
+        }
+        if (state_.global_alloc) {
+            const AllocBlock* block = state_.global_alloc->findAny(addr);
+            if (block && !block->live)
+                return PoisonCause::Freed;
+        }
+    }
+    return PoisonCause::Spatial;
+}
+
+MemCheck
+LmiMechanism::onMemAccess(const MemAccess& access)
+{
+    MemCheck result;
+    const EcResult ec = ec_.check(access.reg_value,
+                                  PointerCodec::extentOf(access.reg_value)
+                                          == 0
+                                      ? classifyZeroExtent(access)
+                                      : PoisonCause::Unknown);
+    result.address = ec.address + uint64_t(access.imm_offset);
+    result.fault = ec.fault;
+    if (result.fault)
+        return result;
+
+    // §XII-C: the membership check catches stale-but-valid copies.
+    if (liveness_ && access.space == MemSpace::Global &&
+        !liveness_->isLive(access.reg_value)) {
+        Fault fault;
+        fault.kind = FaultKind::UseAfterFree;
+        fault.address = result.address;
+        fault.detail = "membership table: buffer no longer live "
+                       "(copied-pointer UAF)";
+        result.fault = fault;
+    }
+    return result;
+}
+
+} // namespace lmi

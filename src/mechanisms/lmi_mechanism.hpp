@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The LMI hardware mechanism (the paper's contribution, §IV-§VIII).
+ *
+ * Composition:
+ *  - compiler: LMI pass (hint bits, 2^n stack frames, extent encode for
+ *    stack/shared pointers, extent nullify on free/scope exit,
+ *    inttoptr rejection);
+ *  - allocators: 2^n-aligned with extent-encoded pointers;
+ *  - per-lane OCU on hinted integer results, +3 cycles of result
+ *    latency from the two register slices (§XI-C);
+ *  - Extent Checker in the LSU: zero extent at dereference raises the
+ *    fault (delayed termination, §XII-A);
+ *  - optional pointer-liveness tracking (§XII-C) closing the
+ *    copied-pointer use-after-free gap.
+ */
+
+#pragma once
+
+#include "core/extent_checker.hpp"
+#include "core/liveness.hpp"
+#include "core/ocu.hpp"
+#include "sim/mechanism.hpp"
+
+namespace lmi {
+
+class LmiMechanism : public ProtectionMechanism
+{
+  public:
+    struct Options
+    {
+        /** Enable the §XII-C membership-table liveness tracker. */
+        bool liveness_tracking = false;
+        /** Enable the page-invalidation optimization for large buffers. */
+        bool page_invalidate_opt = false;
+        /**
+         * Extra result latency of hinted integer ops (register-sliced
+         * OCU). Default 3 cycles per §XI-C; the latency-sensitivity
+         * ablation sweeps this.
+         */
+        unsigned ocu_latency = Ocu::kExtraLatency;
+        /**
+         * Intra-object (sub-K extent) extension: the compiler narrows
+         * field pointers and the OCU/EC honor extents 27..30 as
+         * 16/32/64/128 B fields. Not combinable with liveness tracking
+         * (sub-extents repurpose the UM-identity assumptions).
+         */
+        bool subobject = false;
+        PointerCodec codec{};
+    };
+
+    LmiMechanism() : LmiMechanism(Options{}) {}
+    explicit LmiMechanism(Options options);
+
+    std::string name() const override;
+    void bind(DeviceState state) override;
+
+    CodegenOptions codegenOptions() const override;
+    AllocPolicy allocPolicy() const override { return AllocPolicy::Pow2Aligned; }
+    bool encodePointers() const override { return true; }
+    bool quarantineFrees() const override
+    {
+        // The liveness extension pairs the membership table with
+        // one-time allocation (Markus/FFmalloc, cited in §XII-C) so a
+        // stale alias can never match a new owner's identity.
+        return options_.liveness_tracking;
+    }
+
+    uint64_t onHostAlloc(uint64_t ptr, uint64_t requested) override;
+    MaybeFault onHostFree(uint64_t ptr) override;
+    void onDeviceAlloc(uint64_t ptr, uint64_t requested) override;
+    MaybeFault onDeviceFree(uint64_t ptr) override;
+
+    uint64_t onIntResult(const Instruction& inst, uint64_t ptr_in,
+                         uint64_t out) override;
+    unsigned extraIntLatency(const Instruction& inst) const override;
+    MemCheck onMemAccess(const MemAccess& access) override;
+
+    /** The liveness tracker, when enabled (for benches/tests). */
+    const LivenessTracker* liveness() const
+    {
+        return liveness_ ? &*liveness_ : nullptr;
+    }
+
+  private:
+    PoisonCause classifyZeroExtent(const MemAccess& access) const;
+
+    Options options_;
+    Ocu ocu_;
+    ExtentChecker ec_;
+    std::optional<LivenessTracker> liveness_;
+};
+
+} // namespace lmi

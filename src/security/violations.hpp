@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Security evaluation suite (paper §IX, Table III).
+ *
+ * 38 violation test cases reconstructed from the paper's taxonomy
+ * (which itself reconstructs cuCatch's unpublished suite):
+ *
+ *  Spatial (22): global OoB (2), device-heap OoB (3), local/stack OoB
+ *  (8: single/multi buffer x within-frame/across-frame/beyond-local),
+ *  shared OoB (6: single/multi/beyond/static-into-dynamic/dynamic-pool),
+ *  intra-object OoB (3).
+ *
+ *  Temporal (16): use-after-free (8: global/heap x immediate/delayed x
+ *  original/copied pointer), use-after-scope (4), invalid free (2),
+ *  double free (2).
+ *
+ * Each case builds its kernel through the public Device API, so
+ * detection outcomes *emerge from mechanism semantics* — nothing is
+ * hard-coded per mechanism. A case counts as detected when the run
+ * raises a fault or the mechanism's compiler rejects the kernel (LMI's
+ * §XII-B inttoptr rejection).
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mechanisms/registry.hpp"
+#include "sim/device.hpp"
+
+namespace lmi {
+
+enum class ViolationCategory : uint8_t {
+    GlobalOoB,
+    HeapOoB,
+    LocalOoB,
+    SharedOoB,
+    IntraOoB,
+    UseAfterFree,
+    UseAfterScope,
+    InvalidFree,
+    DoubleFree,
+};
+
+const char* violationCategoryName(ViolationCategory category);
+
+/** True for the spatial half of the taxonomy. */
+bool isSpatialCategory(ViolationCategory category);
+
+/** What happened when a case ran under some mechanism. */
+struct CaseOutcome
+{
+    std::vector<Fault> faults;
+    /** The mechanism's compiler refused the kernel (counts as detected). */
+    bool compile_rejected = false;
+
+    bool detected() const { return compile_rejected || !faults.empty(); }
+};
+
+/** One violation test case. */
+struct ViolationCase
+{
+    std::string id;
+    ViolationCategory category;
+    std::string description;
+    /** Baseline runs are expected fault-free except runtime free errors. */
+    bool baseline_detects = false;
+    std::function<CaseOutcome(Device&)> run;
+};
+
+/** The full 38-case suite, spatial first. */
+const std::vector<ViolationCase>& violationSuite();
+
+/** Detection tally for one mechanism. */
+struct SecurityScore
+{
+    MechanismKind mechanism;
+    /** detected[category] / total[category] */
+    std::map<ViolationCategory, unsigned> detected;
+    std::map<ViolationCategory, unsigned> total;
+
+    unsigned spatialDetected() const;
+    unsigned spatialTotal() const;
+    unsigned temporalDetected() const;
+    unsigned temporalTotal() const;
+};
+
+/** Run the whole suite under @p kind (fresh Device per case). */
+SecurityScore evaluateMechanism(MechanismKind kind);
+
+} // namespace lmi

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Timing-only cache and DRAM models.
+ *
+ * Tag-array set-associative caches with LRU replacement; no data is
+ * stored (the functional state lives in SparseMemory). The DRAM model
+ * combines a fixed access latency with a bandwidth-derived queueing
+ * delay so memory-bound workloads feel contention.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace lmi {
+
+/** Set-associative LRU tag array. */
+class CacheModel
+{
+  public:
+    CacheModel(uint64_t size_bytes, unsigned assoc, unsigned line_bytes)
+        : line_bits_(log2Floor(line_bytes)), assoc_(assoc)
+    {
+        if (size_bytes == 0 || assoc == 0)
+            lmi_fatal("cache must have nonzero size and associativity");
+        num_sets_ = size_bytes / (uint64_t(assoc) * line_bytes);
+        if (num_sets_ == 0)
+            num_sets_ = 1;
+        sets_.resize(num_sets_ * assoc_, kInvalid);
+        lru_.resize(num_sets_ * assoc_, 0);
+    }
+
+    /**
+     * Probe + fill for @p addr. @return true on hit.
+     */
+    bool
+    access(uint64_t addr)
+    {
+        ++tick_;
+        const uint64_t line = addr >> line_bits_;
+        const uint64_t set = line % num_sets_;
+        const size_t base = size_t(set) * assoc_;
+
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (sets_[base + w] == line) {
+                lru_[base + w] = tick_;
+                ++hits_;
+                return true;
+            }
+        }
+        // Miss: fill LRU way.
+        size_t victim = base;
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (lru_[base + w] < lru_[victim])
+                victim = base + w;
+        sets_[victim] = line;
+        lru_[victim] = tick_;
+        ++misses_;
+        return false;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0 : double(hits_) / double(total);
+    }
+
+    void
+    reset()
+    {
+        std::fill(sets_.begin(), sets_.end(), kInvalid);
+        std::fill(lru_.begin(), lru_.end(), 0);
+        hits_ = misses_ = 0;
+        tick_ = 0;
+    }
+
+  private:
+    static constexpr uint64_t kInvalid = ~uint64_t(0);
+
+    unsigned line_bits_;
+    unsigned assoc_;
+    uint64_t num_sets_;
+    std::vector<uint64_t> sets_;
+    std::vector<uint64_t> lru_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t tick_ = 0;
+};
+
+/**
+ * DRAM bandwidth model: a token bucket over absolute cycles. Each line
+ * transfer occupies channel time; when requests arrive faster than the
+ * channel drains, the excess shows up as queueing latency.
+ */
+class DramModel
+{
+  public:
+    DramModel(unsigned access_latency, double bytes_per_cycle,
+              unsigned line_bytes)
+        : latency_(access_latency),
+          cycles_per_line_(double(line_bytes) / bytes_per_cycle)
+    {
+    }
+
+    /**
+     * One line transfer issued at absolute cycle @p now.
+     * @return total latency including queueing.
+     */
+    unsigned
+    access(uint64_t now)
+    {
+        if (busy_until_ < double(now))
+            busy_until_ = double(now);
+        busy_until_ += cycles_per_line_;
+        const double queue = busy_until_ - double(now);
+        ++accesses_;
+        return latency_ + unsigned(queue);
+    }
+
+    uint64_t accesses() const { return accesses_; }
+
+    void
+    reset()
+    {
+        busy_until_ = 0.0;
+        accesses_ = 0;
+    }
+
+  private:
+    unsigned latency_;
+    double cycles_per_line_;
+    double busy_until_ = 0.0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace lmi

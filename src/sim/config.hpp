@@ -1,0 +1,53 @@
+/**
+ * @file
+ * GPU configuration (paper Table IV).
+ *
+ * The defaults reproduce the evaluated machine: 80 SMs at 2 GHz, 4 GTO
+ * warp schedulers per SM, 96 KB L1 with 30-cycle latency, 4.5 MB 24-way
+ * L2 with 200-cycle latency, and 8 GB of HBM.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "arch/mem_map.hpp"
+
+namespace lmi {
+
+struct GpuConfig
+{
+    // --- Core organization (Table IV) --------------------------------
+    unsigned num_sms = 80;
+    double clock_ghz = 2.0;
+    unsigned warp_size = 32;
+    unsigned schedulers_per_sm = 4; ///< GTO schedulers per SM
+    unsigned max_warps_per_sm = 64; ///< residency cap (waves beyond this)
+    unsigned max_blocks_per_sm = 16;
+
+    // --- Execution latencies (cycles) ---------------------------------
+    unsigned int_latency = 4;
+    unsigned fp_latency = 4;
+    unsigned sfu_latency = 16;
+    unsigned malloc_latency = 400; ///< device-heap runtime call
+    unsigned barrier_latency = 2;
+
+    // --- Memory system -------------------------------------------------
+    unsigned line_bytes = 128;
+    uint64_t l1_size = 96 * kKiB;    ///< Table IV
+    unsigned l1_assoc = 4;
+    unsigned l1_latency = 30;        ///< Table IV
+    uint64_t l2_size = 4608 * kKiB;  ///< 4.5 MB (Table IV)
+    unsigned l2_assoc = 24;          ///< Table IV
+    unsigned l2_latency = 200;       ///< Table IV
+    unsigned dram_latency = 380;     ///< HBM access beyond L2
+    double dram_bytes_per_cycle = 448.0; ///< ~900 GB/s HBM at 2 GHz
+    unsigned shared_latency = 24;    ///< scratchpad, L1-comparable
+    unsigned coalesce_serialize = 2; ///< extra cycles per extra transaction
+
+    // --- Local memory --------------------------------------------------
+    /** Per-thread stack top VA (driver writes it to c[0x0][0x28]). */
+    uint64_t stack_top = kLocalBase + 256 * kKiB;
+};
+
+} // namespace lmi

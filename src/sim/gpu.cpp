@@ -1,0 +1,834 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace lmi {
+
+namespace {
+
+/** Physical base used to interleave per-thread local memory for timing. */
+constexpr uint64_t kLocalPhysBase = uint64_t(1) << 50;
+
+double
+asDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+uint64_t
+asBits(double d)
+{
+    uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+bool
+evalCmp(CmpOp cmp, int64_t a, int64_t b)
+{
+    switch (cmp) {
+      case CmpOp::EQ: return a == b;
+      case CmpOp::NE: return a != b;
+      case CmpOp::LT: return a < b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::GT: return a > b;
+      case CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------
+
+struct GpuSim::Warp
+{
+    uint32_t block = 0;        ///< global block id
+    uint32_t warp_in_block = 0;
+    uint32_t first_gtid = 0;
+    uint32_t lanes = 32;       ///< threads in this warp
+    uint64_t pc = 0;
+    uint32_t active = 0;       ///< current-path mask
+    uint32_t exited = 0;
+    std::vector<uint64_t> regs;           ///< lanes x nregs
+    std::array<uint32_t, kNumPredRegs> preds{};
+    std::vector<uint64_t> reg_ready;      ///< per-register ready cycle
+    std::array<uint64_t, kNumPredRegs> pred_ready{};
+    std::vector<std::pair<uint64_t, uint32_t>> stack; ///< (pc, mask)
+    uint64_t stall_until = 0;
+    bool at_barrier = false;
+    bool done = false;
+
+    uint64_t&
+    reg(unsigned lane, unsigned r)
+    {
+        return regs[size_t(lane) * reg_ready.size() + r];
+    }
+
+    uint64_t
+    regv(unsigned lane, unsigned r) const
+    {
+        return regs[size_t(lane) * reg_ready.size() + r];
+    }
+};
+
+struct GpuSim::BlockCtx
+{
+    uint32_t block_id = 0;
+    unsigned num_warps = 0;
+    unsigned done_warps = 0;
+};
+
+struct GpuSim::SmCtx
+{
+    unsigned sm_id = 0;
+    uint64_t cycle = 0;
+    /** LSU port occupancy: memory instructions serialize here. */
+    uint64_t lsu_busy_until = 0;
+    CacheModel l1;
+    /** This SM's share of HBM bandwidth (own queue: SMs are simulated
+     *  sequentially, so a shared queue would couple their clocks). */
+    std::unique_ptr<DramModel> dram;
+    std::vector<uint32_t> pending_blocks; ///< global block ids to run
+    size_t next_block = 0;
+    std::vector<Warp> warps;              ///< resident warps
+    std::vector<BlockCtx> blocks;         ///< resident blocks
+    std::vector<int> last_issued;         ///< per scheduler: warp index
+
+    SmCtx(const GpuConfig& cfg)
+        : l1(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes),
+          last_issued(cfg.schedulers_per_sm, -1)
+    {
+    }
+};
+
+// ---------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------
+
+GpuSim::GpuSim(const GpuConfig& config, ProtectionMechanism& mech,
+               SparseMemory& global_mem, DeviceHeapAllocator& heap,
+               const Program& program, Launch launch)
+    : config_(config),
+      mech_(mech),
+      global_mem_(global_mem),
+      heap_(heap),
+      program_(program),
+      launch_(std::move(launch)),
+      l2_(config.l2_size, config.l2_assoc, config.line_bytes)
+{
+    // Register file width: highest register index any instruction names.
+    unsigned max_reg = kStackPtrReg;
+    for (const auto& inst : program_.code) {
+        if (inst.dst > int(max_reg) && inst.op != Opcode::ISETP)
+            max_reg = unsigned(inst.dst);
+        for (const auto& src : inst.src)
+            if (src.isReg())
+                max_reg = std::max(max_reg, unsigned(src.value));
+    }
+    nregs_ = max_reg + 1;
+
+    // Constant bank: stack pointer (Fig. 7), dynamic-shared base, and
+    // kernel parameters.
+    cbank_.assign(Program::kParamBase + 8 * launch_.params.size() + 8, 0);
+    const uint64_t stack_top = config_.stack_top;
+    std::memcpy(cbank_.data() + Program::kStackPtrOffset, &stack_top, 8);
+    {
+        // The driver places the dynamic pool after the static buffers;
+        // under pointer-encoding mechanisms it aligns the pool and hands
+        // out a coarse extent over it (paper §IX-A).
+        uint64_t dyn_base = program_.static_shared_bytes;
+        uint64_t dyn_ptr = dyn_base;
+        if (launch_.dynamic_shared_bytes > 0) {
+            const PointerCodec codec;
+            if (mech_.encodePointers()) {
+                const uint64_t aligned =
+                    codec.alignedSize(launch_.dynamic_shared_bytes);
+                dyn_base = alignUp(dyn_base, aligned);
+                dyn_ptr = codec.encode(dyn_base,
+                                       launch_.dynamic_shared_bytes);
+            }
+        }
+        dyn_shared_base_ = dyn_base;
+        std::memcpy(cbank_.data() + Program::kDynSharedOffset, &dyn_ptr, 8);
+    }
+    for (size_t i = 0; i < launch_.params.size(); ++i)
+        std::memcpy(cbank_.data() + Program::kParamBase + 8 * i,
+                    &launch_.params[i], 8);
+}
+
+// ---------------------------------------------------------------------
+// Operand evaluation
+// ---------------------------------------------------------------------
+
+uint64_t
+GpuSim::operandValue(const Warp& warp, unsigned lane,
+                     const Operand& op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        return 0;
+      case Operand::Kind::Reg:
+        return warp.regv(lane, unsigned(op.value));
+      case Operand::Kind::Imm:
+        return op.value;
+      case Operand::Kind::CBank: {
+        uint64_t v = 0;
+        if (op.value + 8 <= cbank_.size())
+            std::memcpy(&v, cbank_.data() + op.value, 8);
+        return v;
+      }
+      case Operand::Kind::Special: {
+        const uint32_t tid = warp.warp_in_block * config_.warp_size + lane;
+        switch (SpecialReg(op.value)) {
+          case SpecialReg::TidX:      return tid;
+          case SpecialReg::TidY:      return 0;
+          case SpecialReg::CtaIdX:    return warp.block;
+          case SpecialReg::CtaIdY:    return 0;
+          case SpecialReg::NTidX:     return launch_.block_threads;
+          case SpecialReg::NTidY:     return 1;
+          case SpecialReg::NCtaIdX:   return launch_.grid_blocks;
+          case SpecialReg::LaneId:    return lane;
+          case SpecialReg::WarpId:    return warp.warp_in_block;
+          case SpecialReg::SmId:      return 0;
+          case SpecialReg::GlobalTid: return warp.first_gtid + lane;
+        }
+        return 0;
+      }
+    }
+    return 0;
+}
+
+void
+GpuSim::recordFault(const Fault& fault)
+{
+    result_.faults.push_back(fault);
+    result_.aborted = true;
+    abort_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Memory execution
+// ---------------------------------------------------------------------
+
+void
+GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
+{
+    const MemSpace space = memSpaceOf(inst.op);
+    const bool is_store = isStore(inst.op);
+    const unsigned addr_reg = unsigned(inst.src[0].value);
+    const uint64_t frame_base = config_.stack_top - program_.frame_bytes;
+    const uint64_t shared_limit =
+        dyn_shared_base_ + launch_.dynamic_shared_bytes;
+
+    unsigned extra = 0;
+    unsigned serialized = 0;
+    std::vector<uint64_t> lines;
+
+    const uint64_t total_threads =
+        uint64_t(launch_.grid_blocks) * launch_.block_threads;
+
+    for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+        if (!(warp.active & (1u << lane)))
+            continue;
+        const uint32_t gtid = warp.first_gtid + lane;
+
+        MemAccess access;
+        access.space = space;
+        access.is_store = is_store;
+        access.width = inst.width;
+        access.reg_value = warp.regv(lane, addr_reg);
+        access.imm_offset = inst.imm_offset;
+        access.gtid = gtid;
+        access.frame_base = frame_base;
+        access.stack_top = config_.stack_top;
+        access.shared_limit = shared_limit;
+
+        MemCheck check = mech_.onMemAccess(access);
+        if (check.fault) {
+            recordFault(*check.fault);
+            return;
+        }
+        extra = std::max(extra, check.extra_cycles);
+        serialized += check.serialize_cycles;
+
+        // Functional access.
+        const uint64_t addr = check.address;
+        SparseMemory* mem = nullptr;
+        uint64_t probe_addr = addr;
+        switch (space) {
+          case MemSpace::Global:
+            mem = &global_mem_;
+            break;
+          case MemSpace::Shared:
+            mem = &shared_mem_[warp.block];
+            break;
+          case MemSpace::Local: {
+            mem = &local_mem_[gtid];
+            // Interleave per-thread words so that lane-uniform offsets
+            // coalesce, as the hardware's local-memory mapping does.
+            const uint64_t word = (addr - kLocalBase) >> 2;
+            probe_addr = kLocalPhysBase +
+                         (word * total_threads + gtid) * 4 + (addr & 3);
+            break;
+          }
+          case MemSpace::Constant:
+            lmi_panic("constant space reached the LSU");
+        }
+
+        if (is_store) {
+            mem->write(addr, operandValue(warp, lane,
+                                          inst.src[1]), inst.width);
+        } else {
+            uint64_t v = mem->read(addr, inst.width);
+            warp.reg(lane, unsigned(inst.dst)) = v;
+        }
+
+        if (space != MemSpace::Shared) {
+            const uint64_t line = probe_addr / config_.line_bytes;
+            if (std::find(lines.begin(), lines.end(), line) == lines.end())
+                lines.push_back(line);
+        }
+    }
+
+    // Region profile (Fig. 1).
+    switch (inst.op) {
+      case Opcode::LDG: ++result_.ldg; break;
+      case Opcode::STG: ++result_.stg; break;
+      case Opcode::LDS: ++result_.lds; break;
+      case Opcode::STS: ++result_.sts; break;
+      case Opcode::LDL: ++result_.ldl; break;
+      case Opcode::STL: ++result_.stl; break;
+      default: break;
+    }
+
+    // Timing: the LSU port is occupied for one slot per transaction
+    // plus any per-transaction check serialization (single-ported
+    // bounds/check structures) — this is a throughput cost shared by
+    // every warp on the SM, on top of the per-instruction latency.
+    const unsigned ntrans = lines.empty() ? 1 : unsigned(lines.size());
+    const unsigned occupancy = ntrans + serialized;
+    const uint64_t start = std::max(sm.cycle, sm.lsu_busy_until);
+    sm.lsu_busy_until = start + occupancy;
+    const unsigned queue_wait = unsigned(start - sm.cycle);
+
+    unsigned latency;
+    if (space == MemSpace::Shared) {
+        latency = config_.shared_latency + extra + queue_wait;
+    } else {
+        unsigned worst = config_.l1_latency;
+        for (uint64_t line : lines) {
+            const uint64_t byte_addr = line * config_.line_bytes;
+            unsigned lat = config_.l1_latency;
+            if (sm.l1.access(byte_addr)) {
+                ++result_.l1_hits;
+            } else {
+                ++result_.l1_misses;
+                lat += config_.l2_latency;
+                if (l2_.access(byte_addr)) {
+                    ++result_.l2_hits;
+                } else {
+                    ++result_.l2_misses;
+                    lat += sm.dram->access(sm.cycle);
+                    ++result_.dram_accesses;
+                }
+            }
+            worst = std::max(worst, lat);
+        }
+        latency = worst + (ntrans - 1) * config_.coalesce_serialize +
+                  extra + queue_wait;
+    }
+
+    if (!is_store && inst.dst >= 0)
+        warp.reg_ready[unsigned(inst.dst)] = sm.cycle + latency;
+    // Stores retire through the write queue; the warp itself moves on.
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+GpuSim::warpReady(const SmCtx& sm, const Warp& warp) const
+{
+    if (warp.done || warp.at_barrier || warp.stall_until > sm.cycle)
+        return false;
+    const Instruction& inst = program_.code[warp.pc];
+    for (const auto& src : inst.src)
+        if (src.isReg() &&
+            warp.reg_ready[unsigned(src.value)] > sm.cycle)
+            return false;
+    if (inst.op == Opcode::ISETP) {
+        if (warp.pred_ready[unsigned(inst.dst)] > sm.cycle)
+            return false;
+    } else if (inst.dst >= 0 &&
+               warp.reg_ready[unsigned(inst.dst)] > sm.cycle) {
+        return false;
+    }
+    if (inst.guard_pred != kNoPred &&
+        warp.pred_ready[unsigned(inst.guard_pred)] > sm.cycle)
+        return false;
+    return true;
+}
+
+bool
+GpuSim::issueWarp(SmCtx& sm, Warp& warp)
+{
+    // Reconvergence bookkeeping: merge or switch paths as needed.
+    for (;;) {
+        if (warp.active == 0) {
+            if (warp.stack.empty()) {
+                warp.done = true;
+                return false;
+            }
+            warp.pc = warp.stack.back().first;
+            warp.active = warp.stack.back().second;
+            warp.stack.pop_back();
+            continue;
+        }
+        if (!warp.stack.empty()) {
+            if (warp.pc == warp.stack.back().first) {
+                warp.active |= warp.stack.back().second;
+                warp.stack.pop_back();
+                continue;
+            }
+            if (warp.pc > warp.stack.back().first) {
+                // The live path jumped past the pending one: switch.
+                std::swap(warp.pc, warp.stack.back().first);
+                std::swap(warp.active, warp.stack.back().second);
+                continue;
+            }
+        }
+        break;
+    }
+
+    const Instruction& inst = program_.code[warp.pc];
+    ++result_.instructions;
+    result_.thread_instructions += std::popcount(warp.active);
+
+    const uint64_t cycle = sm.cycle;
+    if (launch_.trace) {
+        TraceEvent event;
+        event.sm = sm.sm_id;
+        event.block = warp.block;
+        event.warp = warp.warp_in_block;
+        event.cycle = cycle;
+        event.pc = warp.pc;
+        event.op = inst.op;
+        event.active_mask = warp.active;
+        event.hinted = inst.hints.active;
+        launch_.trace->record(event);
+    }
+
+    switch (inst.op) {
+      case Opcode::BRA: {
+        uint32_t taken = 0;
+        if (inst.guard_pred == kNoPred) {
+            taken = warp.active;
+        } else {
+            const uint32_t p = warp.preds[unsigned(inst.guard_pred)];
+            taken = warp.active & (inst.guard_neg ? ~p : p);
+        }
+        const uint32_t not_taken = warp.active & ~taken;
+        const uint64_t target = uint64_t(inst.branch_target);
+        if (not_taken == 0) {
+            warp.pc = target;
+        } else if (taken == 0) {
+            ++warp.pc;
+        } else {
+            // Diverge: continue on the lower-PC path, push the other.
+            if (target < warp.pc) {
+                warp.stack.emplace_back(warp.pc + 1, not_taken);
+                warp.pc = target;
+                warp.active = taken;
+            } else {
+                warp.stack.emplace_back(target, taken);
+                ++warp.pc;
+                warp.active = not_taken;
+            }
+        }
+        warp.stall_until = cycle + 1;
+        return true;
+      }
+
+      case Opcode::EXIT: {
+        warp.exited |= warp.active;
+        warp.active = 0;
+        if (warp.stack.empty())
+            warp.done = true;
+        // Remaining paths resume on the next issue via reconvergence.
+        return true;
+      }
+
+      case Opcode::TRAP: {
+        Fault fault;
+        fault.kind = FaultKind(inst.src[0].value);
+        fault.detail = "software check trap in " + program_.name;
+        recordFault(fault);
+        return true;
+      }
+
+      case Opcode::BAR:
+        warp.at_barrier = true;
+        ++warp.pc;
+        return true;
+
+      case Opcode::NOP:
+      case Opcode::RET:
+        ++warp.pc;
+        return true;
+
+      case Opcode::MALLOC: {
+        for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+            if (!(warp.active & (1u << lane)))
+                continue;
+            const uint64_t size =
+                operandValue(warp, lane, inst.src[0]);
+            const uint64_t ptr =
+                heap_.malloc(warp.first_gtid + lane, size);
+            if (ptr == 0) {
+                Fault f;
+                f.kind = FaultKind::InvalidFree;
+                f.detail = "device heap exhausted";
+                recordFault(f);
+                return true;
+            }
+            mech_.onDeviceAlloc(ptr, size);
+            warp.reg(lane, unsigned(inst.dst)) = ptr;
+        }
+        warp.reg_ready[unsigned(inst.dst)] =
+            cycle + config_.malloc_latency +
+            8 * std::popcount(warp.active);
+        ++warp.pc;
+        return true;
+      }
+
+      case Opcode::FREE: {
+        for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+            if (!(warp.active & (1u << lane)))
+                continue;
+            const uint64_t ptr = operandValue(warp, lane, inst.src[0]);
+            if (MaybeFault f = mech_.onDeviceFree(ptr)) {
+                recordFault(*f);
+                return true;
+            }
+            if (MaybeFault f = heap_.free(warp.first_gtid + lane, ptr)) {
+                recordFault(*f);
+                return true;
+            }
+        }
+        warp.stall_until = cycle + config_.malloc_latency / 2;
+        ++warp.pc;
+        return true;
+      }
+
+      default:
+        break;
+    }
+
+    if (isMemory(inst.op)) {
+        executeMemory(sm, warp, inst);
+        ++warp.pc;
+        return true;
+    }
+
+    // Integer / FP / MOV / S2R / ISETP / LDC path.
+    unsigned latency = isFpAlu(inst.op)
+                           ? (inst.op == Opcode::MUFU ? config_.sfu_latency
+                                                      : config_.fp_latency)
+                           : config_.int_latency;
+    if (inst.hints.active)
+        latency += mech_.extraIntLatency(inst);
+
+    for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+        if (!(warp.active & (1u << lane)))
+            continue;
+        const uint64_t a = operandValue(warp, lane, inst.src[0]);
+        const uint64_t b = operandValue(warp, lane, inst.src[1]);
+        const uint64_t c = operandValue(warp, lane, inst.src[2]);
+        uint64_t out = 0;
+
+        switch (inst.op) {
+          case Opcode::IADD:    out = a + b; break;
+          case Opcode::IADD3:   out = a + b + c; break;
+          case Opcode::ISUB:    out = a - b; break;
+          case Opcode::IMUL:    out = a * b; break;
+          case Opcode::IMAD:    out = a * b + c; break;
+          case Opcode::IMNMX:
+            out = uint64_t(std::min(int64_t(a), int64_t(b)));
+            break;
+          case Opcode::SHL:     out = b >= 64 ? 0 : a << b; break;
+          case Opcode::SHR:     out = b >= 64 ? 0 : a >> b; break;
+          case Opcode::LOP_AND: out = a & b; break;
+          case Opcode::LOP_OR:  out = a | b; break;
+          case Opcode::LOP_XOR: out = a ^ b; break;
+          case Opcode::MOV:     out = a; break;
+          case Opcode::S2R:     out = a; break;
+          case Opcode::LDC:     out = a; break;
+          case Opcode::FADD:    out = asBits(asDouble(a) + asDouble(b)); break;
+          case Opcode::FMUL:    out = asBits(asDouble(a) * asDouble(b)); break;
+          case Opcode::FFMA:
+            out = asBits(asDouble(a) * asDouble(b) + asDouble(c));
+            break;
+          case Opcode::MUFU:
+            out = asBits(asDouble(a) == 0.0 ? 0.0 : 1.0 / asDouble(a));
+            break;
+          case Opcode::ISETP: {
+            const bool r = evalCmp(inst.cmp, int64_t(a), int64_t(b));
+            if (r)
+                warp.preds[unsigned(inst.dst)] |= (1u << lane);
+            else
+                warp.preds[unsigned(inst.dst)] &= ~(1u << lane);
+            continue;
+          }
+          default:
+            lmi_panic("unhandled opcode %s", opcodeName(inst.op));
+        }
+
+        // OCU attachment point (paper §VII).
+        if (inst.hints.active) {
+            const uint64_t ptr_in =
+                inst.hints.pointer_operand == 0
+                    ? a
+                    : (inst.op == Opcode::IMAD ? c : b);
+            out = mech_.onIntResult(inst, ptr_in, out);
+        }
+
+        if (inst.dst >= 0)
+            warp.reg(lane, unsigned(inst.dst)) = out;
+    }
+
+    if (inst.op == Opcode::ISETP)
+        warp.pred_ready[unsigned(inst.dst)] = cycle + latency;
+    else if (inst.dst >= 0)
+        warp.reg_ready[unsigned(inst.dst)] = cycle + latency;
+
+    ++warp.pc;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// SM loop
+// ---------------------------------------------------------------------
+
+void
+GpuSim::releaseBarriers(SmCtx& sm)
+{
+    for (auto& block : sm.blocks) {
+        unsigned waiting = 0, live = 0;
+        for (auto& w : sm.warps) {
+            if (w.block != block.block_id || w.done)
+                continue;
+            ++live;
+            if (w.at_barrier)
+                ++waiting;
+        }
+        if (live > 0 && waiting == live) {
+            for (auto& w : sm.warps) {
+                if (w.block == block.block_id && w.at_barrier) {
+                    w.at_barrier = false;
+                    w.stall_until = sm.cycle + config_.barrier_latency;
+                }
+            }
+        }
+    }
+}
+
+uint64_t
+GpuSim::nextReadyCycle(const SmCtx& sm) const
+{
+    uint64_t best = ~uint64_t(0);
+    for (const auto& w : sm.warps) {
+        if (w.done || w.at_barrier)
+            continue;
+        uint64_t t = std::max(w.stall_until, sm.cycle + 1);
+        const Instruction& inst = program_.code[w.pc];
+        for (const auto& src : inst.src)
+            if (src.isReg())
+                t = std::max(t, w.reg_ready[unsigned(src.value)]);
+        if (inst.op == Opcode::ISETP)
+            t = std::max(t, w.pred_ready[unsigned(inst.dst)]);
+        else if (inst.dst >= 0)
+            t = std::max(t, w.reg_ready[unsigned(inst.dst)]);
+        if (inst.guard_pred != kNoPred)
+            t = std::max(t, w.pred_ready[unsigned(inst.guard_pred)]);
+        best = std::min(best, t);
+    }
+    return best;
+}
+
+void
+GpuSim::runSm(SmCtx& sm)
+{
+    const unsigned warps_per_block =
+        (launch_.block_threads + config_.warp_size - 1) / config_.warp_size;
+
+    auto admit = [&] {
+        while (sm.next_block < sm.pending_blocks.size()) {
+            unsigned resident_warps = 0;
+            for (const auto& w : sm.warps)
+                if (!w.done)
+                    resident_warps += 1;
+            if (sm.blocks.size() >= config_.max_blocks_per_sm ||
+                resident_warps + warps_per_block > config_.max_warps_per_sm)
+                return;
+
+            const uint32_t bid = sm.pending_blocks[sm.next_block++];
+            BlockCtx bc;
+            bc.block_id = bid;
+            bc.num_warps = warps_per_block;
+            sm.blocks.push_back(bc);
+            for (unsigned wi = 0; wi < warps_per_block; ++wi) {
+                Warp w;
+                w.block = bid;
+                w.warp_in_block = wi;
+                w.first_gtid = bid * launch_.block_threads +
+                               wi * config_.warp_size;
+                const unsigned first_tid = wi * config_.warp_size;
+                w.lanes = std::min(config_.warp_size,
+                                   launch_.block_threads - first_tid);
+                w.active = w.lanes >= 32 ? ~uint32_t(0)
+                                         : ((1u << w.lanes) - 1);
+                w.reg_ready.assign(nregs_, 0);
+                w.regs.assign(size_t(config_.warp_size) * nregs_, 0);
+                w.stall_until = sm.cycle;
+                sm.warps.push_back(std::move(w));
+            }
+        }
+    };
+
+    admit();
+
+    uint64_t idle_guard = 0;
+    while (!abort_) {
+        // Retire finished blocks and admit new ones.
+        for (size_t i = 0; i < sm.blocks.size();) {
+            bool all_done = true;
+            for (const auto& w : sm.warps)
+                if (w.block == sm.blocks[i].block_id && !w.done)
+                    all_done = false;
+            if (all_done) {
+                shared_mem_.erase(sm.blocks[i].block_id);
+                sm.blocks.erase(sm.blocks.begin() + long(i));
+            } else {
+                ++i;
+            }
+        }
+        admit();
+
+        bool any_live = false;
+        for (const auto& w : sm.warps)
+            any_live |= !w.done;
+        if (!any_live && sm.next_block >= sm.pending_blocks.size())
+            break;
+
+        releaseBarriers(sm);
+
+        bool issued = false;
+        for (unsigned s = 0; s < config_.schedulers_per_sm; ++s) {
+            // GTO: greedy on the last-issued warp, else oldest ready.
+            int pick = -1;
+            const int last = sm.last_issued[s];
+            if (last >= 0 && size_t(last) < sm.warps.size() &&
+                unsigned(last) % config_.schedulers_per_sm == s &&
+                warpReady(sm, sm.warps[size_t(last)])) {
+                pick = last;
+            } else {
+                for (size_t wi = s; wi < sm.warps.size();
+                     wi += config_.schedulers_per_sm) {
+                    if (warpReady(sm, sm.warps[wi])) {
+                        pick = int(wi);
+                        break;
+                    }
+                }
+            }
+            if (pick >= 0) {
+                issued |= issueWarp(sm, sm.warps[size_t(pick)]);
+                sm.last_issued[s] = pick;
+                if (abort_)
+                    return;
+            }
+        }
+
+        if (issued) {
+            ++sm.cycle;
+            idle_guard = 0;
+        } else {
+            const uint64_t next = nextReadyCycle(sm);
+            if (next == ~uint64_t(0)) {
+                // Everything is blocked: barriers release next round; if
+                // nothing changes we are deadlocked.
+                ++sm.cycle;
+                if (++idle_guard > 10000)
+                    lmi_panic("SM %u deadlocked at cycle %llu in %s",
+                              sm.sm_id,
+                              static_cast<unsigned long long>(sm.cycle),
+                              program_.name.c_str());
+            } else {
+                sm.cycle = std::max(next, sm.cycle + 1);
+                idle_guard = 0;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+RunResult
+GpuSim::run()
+{
+    program_.validate();
+    mech_.onKernelLaunch(program_);
+
+    // Round-robin block placement over SMs.
+    std::vector<SmCtx> sms;
+    const unsigned used_sms =
+        std::min<unsigned>(config_.num_sms,
+                           std::max(1u, launch_.grid_blocks));
+    sms.reserve(used_sms);
+    for (unsigned s = 0; s < used_sms; ++s) {
+        sms.emplace_back(config_);
+        sms.back().sm_id = s;
+        sms.back().dram = std::make_unique<DramModel>(
+            config_.dram_latency,
+            config_.dram_bytes_per_cycle / double(used_sms),
+            config_.line_bytes);
+    }
+    for (unsigned b = 0; b < launch_.grid_blocks; ++b)
+        sms[b % used_sms].pending_blocks.push_back(b);
+
+    uint64_t max_cycle = 0;
+    for (auto& sm : sms) {
+        runSm(sm);
+        max_cycle = std::max(max_cycle, sm.cycle);
+        result_.stats.inc("sim.sm_cycles", sm.cycle);
+        if (abort_)
+            break;
+    }
+
+    result_.cycles =
+        uint64_t(double(max_cycle) * (1.0 + mech_.launchOverheadFraction()));
+
+    for (Fault& f : mech_.onKernelEnd())
+        result_.faults.push_back(std::move(f));
+
+    result_.stats.set("sim.l1_hit_rate",
+                      result_.l1_hits + result_.l1_misses == 0
+                          ? 0.0
+                          : double(result_.l1_hits) /
+                                double(result_.l1_hits + result_.l1_misses));
+    return std::move(result_);
+}
+
+} // namespace lmi

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The cycle-level GPU engine.
+ *
+ * Functional-plus-timing simulation of the Table IV machine:
+ *
+ *  - blocks are distributed round-robin over SMs and executed in
+ *    residency-limited waves;
+ *  - each SM runs four greedy-then-oldest (GTO) warp schedulers over its
+ *    resident warps, with a per-warp register scoreboard deciding
+ *    readiness;
+ *  - SIMT divergence uses a reconvergence stack (continue the lower-PC
+ *    path, merge when the live path reaches the pushed PC);
+ *  - memory instructions coalesce per-warp into line transactions that
+ *    probe a per-SM L1, a device-wide L2, and a bandwidth-modeled HBM;
+ *  - the active ProtectionMechanism is invoked at the OCU point (hinted
+ *    integer results), the LSU point (every access), allocation events,
+ *    and kernel end.
+ *
+ * SMs are simulated one after another with private clocks; they share
+ * the L2/DRAM models, which is the usual fast-simulation approximation —
+ * all paper results are relative measurements on the same model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/mechanism.hpp"
+#include "sim/memory.hpp"
+#include "sim/result.hpp"
+#include "sim/trace.hpp"
+
+namespace lmi {
+
+/** One kernel launch request. */
+struct Launch
+{
+    unsigned grid_blocks = 1;
+    unsigned block_threads = 32;
+    std::vector<uint64_t> params;
+    uint64_t dynamic_shared_bytes = 0;
+    /** Optional instruction-trace sink (NVBit-style capture). */
+    TraceSink* trace = nullptr;
+};
+
+/**
+ * Executes one launch. Construct per launch.
+ */
+class GpuSim
+{
+  public:
+    GpuSim(const GpuConfig& config, ProtectionMechanism& mech,
+           SparseMemory& global_mem, DeviceHeapAllocator& heap,
+           const Program& program, Launch launch);
+
+    /** Run to completion (or first fault) and return the result. */
+    RunResult run();
+
+  private:
+    struct Warp;
+    struct BlockCtx;
+    struct SmCtx;
+
+    void runSm(SmCtx& sm);
+    bool issueWarp(SmCtx& sm, Warp& warp);
+    void executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst);
+    uint64_t operandValue(const Warp& warp, unsigned lane,
+                          const Operand& op) const;
+    void releaseBarriers(SmCtx& sm);
+    uint64_t nextReadyCycle(const SmCtx& sm) const;
+    bool warpReady(const SmCtx& sm, const Warp& warp) const;
+    void recordFault(const Fault& fault);
+
+    const GpuConfig& config_;
+    ProtectionMechanism& mech_;
+    SparseMemory& global_mem_;
+    DeviceHeapAllocator& heap_;
+    const Program& program_;
+    Launch launch_;
+
+    unsigned nregs_ = 0;
+    uint64_t dyn_shared_base_ = 0;
+    std::vector<uint8_t> cbank_;
+    CacheModel l2_;
+    RunResult result_;
+    bool abort_ = false;
+
+    /** Per-thread local (stack) memories, keyed by global thread id. */
+    std::unordered_map<uint32_t, SparseMemory> local_mem_;
+    /** Per-block shared memories (created per wave). */
+    std::unordered_map<uint32_t, SparseMemory> shared_mem_;
+};
+
+} // namespace lmi

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional backing store: a sparse, page-granular byte memory.
+ *
+ * Used for global memory (one instance per device), per-block shared
+ * memory, and per-thread local memory. Pages materialize zero-filled on
+ * first touch, so the 8 GB global space costs only what kernels touch.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace lmi {
+
+/** Sparse byte-addressable memory. Not thread-safe (the sim is serial). */
+class SparseMemory
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    /** Read @p n bytes (n <= 8) little-endian into a value. */
+    uint64_t
+    read(uint64_t addr, unsigned n)
+    {
+        uint64_t v = 0;
+        readBytes(addr, reinterpret_cast<uint8_t*>(&v), n);
+        return v;
+    }
+
+    /** Write the low @p n bytes of @p value. */
+    void
+    write(uint64_t addr, uint64_t value, unsigned n)
+    {
+        writeBytes(addr, reinterpret_cast<const uint8_t*>(&value), n);
+    }
+
+    void
+    readBytes(uint64_t addr, uint8_t* out, uint64_t n)
+    {
+        while (n > 0) {
+            const uint64_t off = addr % kPageBytes;
+            const uint64_t chunk = std::min(n, kPageBytes - off);
+            auto it = pages_.find(addr / kPageBytes);
+            if (it == pages_.end())
+                std::memset(out, 0, chunk);
+            else
+                std::memcpy(out, it->second->data() + off, chunk);
+            addr += chunk;
+            out += chunk;
+            n -= chunk;
+        }
+    }
+
+    void
+    writeBytes(uint64_t addr, const uint8_t* in, uint64_t n)
+    {
+        while (n > 0) {
+            const uint64_t off = addr % kPageBytes;
+            const uint64_t chunk = std::min(n, kPageBytes - off);
+            std::memcpy(page(addr / kPageBytes).data() + off, in, chunk);
+            addr += chunk;
+            in += chunk;
+            n -= chunk;
+        }
+    }
+
+    /** Number of materialized pages (for footprint stats). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    Page&
+    page(uint64_t idx)
+    {
+        auto& p = pages_[idx];
+        if (!p) {
+            p = std::make_unique<Page>();
+            p->fill(0);
+        }
+        return *p;
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace lmi

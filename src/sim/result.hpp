@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Outcome of one kernel launch: cycles, instruction mix, memory-region
+ * profile (Fig. 1), cache behaviour, and any faults the active
+ * protection mechanism raised.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/fault.hpp"
+
+namespace lmi {
+
+struct RunResult
+{
+    /** Kernel wall-clock in GPU cycles (max over SMs). */
+    uint64_t cycles = 0;
+    /** Dynamic instructions issued (warp-level). */
+    uint64_t instructions = 0;
+    /** Dynamic thread-level instruction count. */
+    uint64_t thread_instructions = 0;
+
+    // --- Memory-region profile (Fig. 1) -------------------------------
+    uint64_t ldg = 0, stg = 0; ///< global
+    uint64_t lds = 0, sts = 0; ///< shared
+    uint64_t ldl = 0, stl = 0; ///< local
+
+    // --- Cache/DRAM ----------------------------------------------------
+    uint64_t l1_hits = 0, l1_misses = 0;
+    uint64_t l2_hits = 0, l2_misses = 0;
+    uint64_t dram_accesses = 0;
+
+    /** Faults raised during execution (first-fault aborts the launch). */
+    std::vector<Fault> faults;
+    /** True when a fault terminated the kernel early. */
+    bool aborted = false;
+
+    /** Per-launch counters from mechanisms and units. */
+    StatRegistry stats;
+
+    uint64_t memInstructions() const { return ldg + stg + lds + sts + ldl + stl; }
+    bool faulted() const { return !faults.empty(); }
+};
+
+} // namespace lmi

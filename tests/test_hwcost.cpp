@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware cost model tests (paper Table VI, §XI-C): the OCU component
+ * model must land on the synthesis results the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ocu.hpp"
+#include "hwcost/hwcost.hpp"
+
+namespace lmi {
+namespace {
+
+TEST(HwCost, OcuMatchesSynthesis)
+{
+    const UnitCost ocu = ocuCost();
+    // Paper: 153 GE per thread.
+    EXPECT_NEAR(ocu.totalGates(), 153.0, 1.5);
+    // Paper: 0.63 ns critical path -> f_max = 1.587 GHz.
+    EXPECT_NEAR(criticalPathNs(ocu), 0.63, 0.01);
+    EXPECT_NEAR(fMaxGHz(ocu), 1.587, 0.01);
+    EXPECT_EQ(ocu.per, "thread");
+}
+
+TEST(HwCost, PipelinePlanAtThreePlusGhz)
+{
+    // Paper §XI-C: two register slices close timing above 3 GHz and add
+    // a three-cycle check delay.
+    const UnitCost ocu = ocuCost();
+    const PipelinePlan plan = planPipeline(ocu, 3.2);
+    EXPECT_EQ(plan.register_slices, 2u);
+    EXPECT_EQ(plan.check_latency_cycles, 3u);
+    EXPECT_GT(plan.slice_gates, 0.0);
+    // The simulator's OCU latency constant must agree with the plan.
+    EXPECT_EQ(plan.check_latency_cycles, Ocu::kExtraLatency);
+}
+
+TEST(HwCost, NoPipeliningNeededAtLowClock)
+{
+    const UnitCost ocu = ocuCost();
+    const PipelinePlan plan = planPipeline(ocu, 1.0);
+    EXPECT_EQ(plan.register_slices, 0u);
+    EXPECT_EQ(plan.check_latency_cycles, 1u);
+}
+
+TEST(HwCost, ExtentCheckerIsTiny)
+{
+    const UnitCost ec = extentCheckerCost();
+    EXPECT_LT(ec.totalGates(), 20.0);
+    EXPECT_LT(criticalPathNs(ec), 0.4);
+}
+
+TEST(HwCost, ComparisonTableShape)
+{
+    const auto rows = hardwareComparison();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.back().scheme, "LMI");
+    EXPECT_TRUE(rows.back().measured_here);
+    EXPECT_EQ(rows.back().sram_bytes, 0u);
+    // LMI's per-thread logic is the smallest entry, by a wide margin.
+    for (const auto& r : rows)
+        if (r.scheme != "LMI" && r.scheme != "IMT") {
+            EXPECT_GT(r.gates, 5 * rows.back().gates) << r.scheme;
+        }
+    // And it is the only scheme without SRAM or cache-side verification.
+    EXPECT_EQ(rows.back().verification_scope, "ALU (INT only), LSU");
+}
+
+TEST(HwCost, GateLibrarySensitivity)
+{
+    // A slower library lengthens the path but never changes the GE
+    // ordering of the comparison.
+    GateLibrary slow;
+    slow.level_delay_ns = 0.2;
+    const UnitCost ocu = ocuCost(slow);
+    EXPECT_NEAR(criticalPathNs(ocu, slow), 1.4, 0.01);
+    const PipelinePlan plan = planPipeline(ocu, 2.0, slow);
+    EXPECT_GE(plan.register_slices, 2u);
+}
+
+} // namespace
+} // namespace lmi

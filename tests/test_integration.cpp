@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Cross-cutting integration tests:
+ *
+ *  - functional equivalence: every mechanism must compute the same
+ *    kernel results as the baseline (protection must never change
+ *    program semantics);
+ *  - microcode encodability: every instruction the code generator emits
+ *    for every Table V kernel must fit the 128-bit microcode format;
+ *  - determinism: identical launches produce identical cycle counts;
+ *  - abort semantics: a fault stops the launch and reports it first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/microcode.hpp"
+#include "ir/builder.hpp"
+#include "mechanisms/registry.hpp"
+#include "security/violations.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lmi {
+namespace {
+
+using namespace ir;
+
+/** A deterministic kernel with loops, divergence, shared and local use. */
+IrModule
+mixedKernel()
+{
+    IrFunction f = IrBuilder::makeKernel(
+        "mixed", {{"in", Type::ptr(4)}, {"out", Type::ptr(4)},
+                  {"n", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto even = b.block("even");
+    auto odd = b.block("odd");
+    auto merge = b.block("merge");
+
+    b.setInsertPoint(entry);
+    auto in = b.param(0);
+    auto out = b.param(1);
+    auto t = b.gtid();
+    auto tile = b.sharedBuffer("tile", 1024, 4);
+    auto lbuf = b.alloca_(256, 4);
+    auto x0 = b.load(b.gep(in, t));
+    auto bit = b.iand(t, b.constInt(1));
+    auto cond = b.icmp(CmpOp::EQ, bit, b.constInt(0));
+    b.br(cond, even, odd);
+
+    b.setInsertPoint(even);
+    auto xe = b.imul(x0, b.constInt(3));
+    b.jump(merge);
+
+    b.setInsertPoint(odd);
+    auto xo = b.iadd(x0, b.constInt(1000));
+    b.jump(merge);
+
+    b.setInsertPoint(merge);
+    auto x = b.phi(Type::i64(), {{xe, even}, {xo, odd}});
+    auto tslot = b.iand(b.tid(), b.constInt(255));
+    b.store(b.gep(tile, tslot), x);
+    b.barrier();
+    auto y = b.load(b.gep(tile, tslot));
+    auto lslot = b.iand(t, b.constInt(63));
+    b.store(b.gep(lbuf, lslot), y);
+    auto z = b.load(b.gep(lbuf, lslot));
+    b.store(b.gep(out, t), z);
+    b.ret();
+
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    return m;
+}
+
+std::vector<uint32_t>
+runMixed(MechanismKind kind)
+{
+    Device dev(makeMechanism(kind));
+    const unsigned n = 512;
+    const uint64_t in = dev.cudaMalloc(n * 4);
+    const uint64_t out = dev.cudaMalloc(n * 4);
+    for (unsigned i = 0; i < n; ++i)
+        dev.poke32(in + 4 * i, 7 * i + 3);
+    const CompiledKernel k = dev.compile(mixedKernel(), "mixed");
+    const RunResult r = dev.launch(k, 2, 256, {in, out, n});
+    EXPECT_FALSE(r.faulted())
+        << mechanismKindName(kind) << ": "
+        << (r.faults.empty() ? "" : r.faults[0].detail);
+    std::vector<uint32_t> values(n);
+    for (unsigned i = 0; i < n; ++i)
+        values[i] = dev.peek32(out + 4 * i);
+    return values;
+}
+
+TEST(Integration, AllMechanismsComputeIdenticalResults)
+{
+    const std::vector<uint32_t> reference = runMixed(MechanismKind::Baseline);
+    // Spot-check the reference itself.
+    EXPECT_EQ(reference[0], (7u * 0 + 3) * 3);
+    EXPECT_EQ(reference[1], (7u * 1 + 3) + 1000);
+
+    for (MechanismKind kind :
+         {MechanismKind::Lmi, MechanismKind::LmiLiveness,
+          MechanismKind::GpuShield, MechanismKind::BaggySw,
+          MechanismKind::Gmod, MechanismKind::CuCatch,
+          MechanismKind::MemcheckDbi, MechanismKind::LmiDbi}) {
+        SCOPED_TRACE(mechanismKindName(kind));
+        EXPECT_EQ(runMixed(kind), reference);
+    }
+}
+
+TEST(Integration, EveryWorkloadInstructionIsMicrocodeEncodable)
+{
+    for (const auto& profile : workloadSuite()) {
+        SCOPED_TRACE(profile.name);
+        for (MechanismKind kind :
+             {MechanismKind::Baseline, MechanismKind::Lmi,
+              MechanismKind::BaggySw, MechanismKind::CuCatch}) {
+            Device dev(makeMechanism(kind));
+            const CompiledKernel ck =
+                dev.compile(buildWorkloadKernel(profile), profile.name);
+            for (const Instruction& inst : ck.program.code) {
+                ASSERT_TRUE(isEncodable(inst)) << inst.toString();
+                // And the round trip preserves the hint bits.
+                const Instruction back =
+                    unpackMicrocode(packMicrocode(inst));
+                ASSERT_EQ(back.hints.active, inst.hints.active);
+                ASSERT_EQ(back.op, inst.op);
+            }
+        }
+    }
+}
+
+TEST(Integration, LaunchesAreDeterministic)
+{
+    auto run = [] {
+        Device dev(makeMechanism(MechanismKind::Lmi));
+        const WorkloadRun r =
+            runWorkload(dev, findWorkload("needle"), 0.25);
+        return std::make_pair(r.result.cycles, r.result.instructions);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Integration, FaultAbortsLaunchAndIsFirst)
+{
+    // A grid where exactly one thread overflows: the launch must abort
+    // with that fault and report aborted = true.
+    IrFunction f = IrBuilder::makeKernel(
+        "one_bad", {{"buf", Type::ptr(4)}, {"bad", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto attack = b.block("attack");
+    auto done = b.block("done");
+    b.setInsertPoint(entry);
+    auto pbuf = b.param(0);
+    auto t = b.gtid();
+    auto is_bad = b.icmp(CmpOp::EQ, t, b.param(1));
+    b.br(is_bad, attack, done);
+    b.setInsertPoint(attack);
+    b.store(b.gep(pbuf, b.constInt(1 << 20)), b.constInt(1, Type::i32()));
+    b.jump(done);
+    b.setInsertPoint(done);
+    b.store(b.gep(pbuf, t), t);
+    b.ret();
+    IrModule m;
+    m.functions.push_back(std::move(f));
+
+    Device dev(makeMechanism(MechanismKind::Lmi));
+    const uint64_t buf = dev.cudaMalloc(4096);
+    const CompiledKernel k = dev.compile(m, "one_bad");
+    const RunResult r = dev.launch(k, 2, 128, {buf, 100});
+    ASSERT_TRUE(r.faulted());
+    EXPECT_TRUE(r.aborted);
+    EXPECT_EQ(r.faults[0].kind, FaultKind::SpatialOverflow);
+}
+
+TEST(Integration, SecuritySuiteIsDeterministicAcrossRuns)
+{
+    const SecurityScore a = evaluateMechanism(MechanismKind::Lmi);
+    const SecurityScore b = evaluateMechanism(MechanismKind::Lmi);
+    EXPECT_EQ(a.spatialDetected(), b.spatialDetected());
+    EXPECT_EQ(a.temporalDetected(), b.temporalDetected());
+}
+
+TEST(Integration, WorkloadsCleanUnderDbiMechanisms)
+{
+    for (const char* name : {"nn", "swin"}) {
+        for (MechanismKind kind :
+             {MechanismKind::MemcheckDbi, MechanismKind::LmiDbi}) {
+            SCOPED_TRACE(std::string(name) + "/" + mechanismKindName(kind));
+            Device dev(makeMechanism(kind));
+            const WorkloadRun run =
+                runWorkload(dev, findWorkload(name), 0.1);
+            EXPECT_FALSE(run.result.faulted())
+                << (run.result.faults.empty()
+                        ? ""
+                        : run.result.faults[0].detail);
+        }
+    }
+}
+
+TEST(Integration, HeapWorkloadRoundTrip)
+{
+    // A workload that exercises the device heap under LMI end to end.
+    WorkloadProfile p = findWorkload("nn");
+    p.heap_allocs = 1;
+    p.heap_alloc_bytes = 300;
+    Device dev(makeMechanism(MechanismKind::Lmi));
+    const WorkloadRun run = runWorkload(dev, p, 0.1);
+    EXPECT_FALSE(run.result.faulted());
+    EXPECT_EQ(dev.heapAllocator().liveReservedBytes(), 0u);
+}
+
+} // namespace
+} // namespace lmi

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Direct unit tests for the memory-system models: SparseMemory,
+ * CacheModel (set-associative LRU), and DramModel (bandwidth queueing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+
+namespace lmi {
+namespace {
+
+TEST(SparseMemory, ZeroFilledOnFirstTouch)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read(0x123456, 8), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u); // reads do not materialize pages
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip)
+{
+    SparseMemory mem;
+    mem.write(0x1000, 0xDEADBEEFCAFEF00Dull, 8);
+    EXPECT_EQ(mem.read(0x1000, 8), 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(mem.read(0x1000, 4), 0xCAFEF00Du);
+    EXPECT_EQ(mem.read(0x1004, 4), 0xDEADBEEFu);
+    EXPECT_EQ(mem.pageCount(), 1u);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    const uint64_t addr = SparseMemory::kPageBytes - 3;
+    mem.write(addr, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SparseMemory, BulkTransfer)
+{
+    SparseMemory mem;
+    std::vector<uint8_t> payload(10000);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = uint8_t(i * 7);
+    mem.writeBytes(123, payload.data(), payload.size());
+    std::vector<uint8_t> back(payload.size());
+    mem.readBytes(123, back.data(), back.size());
+    EXPECT_EQ(back, payload);
+}
+
+TEST(SparseMemory, PartialWidthWritePreservesNeighbors)
+{
+    SparseMemory mem;
+    mem.write(0x100, 0xAAAAAAAAAAAAAAAAull, 8);
+    mem.write(0x102, 0x42, 1);
+    EXPECT_EQ(mem.read(0x100, 8), 0xAAAAAAAAAA42AAAAull);
+}
+
+TEST(CacheModel, HitAfterFill)
+{
+    CacheModel cache(1024, 2, 64);
+    EXPECT_FALSE(cache.access(0x000)); // compulsory miss
+    EXPECT_TRUE(cache.access(0x000));  // now resident
+    EXPECT_TRUE(cache.access(0x03F));  // same line
+    EXPECT_FALSE(cache.access(0x040)); // next line misses
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    // 2-way, 64 B lines, 2 sets (256 B total).
+    CacheModel cache(256, 2, 64);
+    // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+    EXPECT_FALSE(cache.access(0x000));
+    EXPECT_FALSE(cache.access(0x080));
+    EXPECT_TRUE(cache.access(0x000));  // refresh LRU
+    EXPECT_FALSE(cache.access(0x100)); // evicts 0x080 (LRU)
+    EXPECT_TRUE(cache.access(0x000));
+    EXPECT_FALSE(cache.access(0x080)); // was evicted
+}
+
+TEST(CacheModel, ResetClears)
+{
+    CacheModel cache(1024, 2, 64);
+    cache.access(0x0);
+    cache.access(0x0);
+    cache.reset();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_FALSE(cache.access(0x0));
+}
+
+TEST(CacheModel, RejectsDegenerateConfig)
+{
+    EXPECT_THROW(CacheModel(0, 2, 64), FatalError);
+    EXPECT_THROW(CacheModel(1024, 0, 64), FatalError);
+}
+
+TEST(DramModel, UncontendedLatency)
+{
+    DramModel dram(300, 64.0, 128); // 2 cycles per line
+    EXPECT_EQ(dram.access(1000), 302u); // latency + own transfer
+    EXPECT_EQ(dram.accesses(), 1u);
+}
+
+TEST(DramModel, QueueingUnderBurst)
+{
+    DramModel dram(300, 64.0, 128);
+    // Ten back-to-back requests at the same cycle: each queues behind
+    // the previous transfers.
+    unsigned prev = 0;
+    for (int i = 0; i < 10; ++i) {
+        const unsigned lat = dram.access(0);
+        EXPECT_GT(lat, prev);
+        prev = lat;
+    }
+    EXPECT_EQ(prev, 300u + 10 * 2);
+}
+
+TEST(DramModel, IdleGapsDrainTheQueue)
+{
+    DramModel dram(300, 64.0, 128);
+    for (int i = 0; i < 10; ++i)
+        dram.access(0);
+    // Far in the future the channel is idle again.
+    EXPECT_EQ(dram.access(100000), 302u);
+}
+
+} // namespace
+} // namespace lmi

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Optimizer tests: constant folding, algebraic identities, dead code
+ * elimination, semantic preservation, and interaction with the LMI
+ * pass (optimized kernels still compile, hint, and detect).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/optimizer.hpp"
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "mechanisms/registry.hpp"
+#include "sim/device.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lmi {
+namespace {
+
+using namespace ir;
+
+unsigned
+countOps(const IrFunction& f, IrOp op)
+{
+    unsigned n = 0;
+    for (BlockId b = 0; b < f.blocks.size(); ++b)
+        for (ValueId v : f.blocks[b].insts)
+            n += f.inst(v).op == op;
+    return n;
+}
+
+unsigned
+liveInstructions(const IrFunction& f)
+{
+    unsigned n = 0;
+    for (BlockId b = 0; b < f.blocks.size(); ++b)
+        n += unsigned(f.blocks[b].insts.size());
+    return n;
+}
+
+TEST(Optimizer, FoldsConstantChains)
+{
+    IrFunction f = IrBuilder::makeKernel("fold", {{"out", Type::ptr(8)}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto x = b.iadd(b.constInt(2), b.constInt(3));     // 5
+    auto y = b.imul(x, b.constInt(4));                 // 20
+    auto z = b.isub(y, b.constInt(1));                 // 19
+    b.store(b.gep(b.param(0), b.constInt(0)), z);
+    b.ret();
+
+    const OptimizeStats stats = optimizeFunction(f);
+    EXPECT_GE(stats.folded, 3u);
+    // The arithmetic collapsed into constants.
+    EXPECT_EQ(countOps(f, IrOp::IAdd), 0u);
+    EXPECT_EQ(countOps(f, IrOp::IMul), 0u);
+    EXPECT_EQ(countOps(f, IrOp::ISub), 0u);
+
+    // And it still computes 19.
+    Device dev;
+    const uint64_t out = dev.cudaMalloc(256);
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    const CompiledKernel k = dev.compile(m, "fold");
+    ASSERT_FALSE(dev.launch(k, 1, 1, {out}).faulted());
+    EXPECT_EQ(dev.peek64(out), 19u);
+}
+
+TEST(Optimizer, AppliesIdentities)
+{
+    IrFunction f = IrBuilder::makeKernel("ident", {{"out", Type::ptr(8)},
+                                                   {"v", Type::i64()}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto v = b.param(1);
+    auto a = b.iadd(v, b.constInt(0));  // v
+    auto c = b.imul(a, b.constInt(1));  // v
+    auto d = b.ishl(c, b.constInt(0));  // v
+    auto e = b.imul(d, b.constInt(0));  // 0
+    auto g = b.iadd(v, e);              // v (0 folded away)
+    b.store(b.gep(b.param(0), b.constInt(0)), g);
+    b.ret();
+    const OptimizeStats stats = optimizeFunction(f);
+    EXPECT_GE(stats.simplified, 3u);
+
+    Device dev;
+    const uint64_t out = dev.cudaMalloc(256);
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    const CompiledKernel k = dev.compile(m, "ident");
+    ASSERT_FALSE(dev.launch(k, 1, 1, {out, 12345}).faulted());
+    EXPECT_EQ(dev.peek64(out), 12345u);
+}
+
+TEST(Optimizer, RemovesDeadCode)
+{
+    IrFunction f = IrBuilder::makeKernel("dead", {{"out", Type::ptr(4)}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto t = b.gtid();
+    // Dead chain: never stored.
+    auto d1 = b.imul(t, b.constInt(7));
+    b.iadd(d1, b.constInt(1));
+    // Dead pointer math too.
+    b.gep(b.param(0), t);
+    // Live store.
+    b.store(b.gep(b.param(0), t), t);
+    b.ret();
+
+    const unsigned before = liveInstructions(f);
+    const OptimizeStats stats = optimizeFunction(f);
+    EXPECT_GE(stats.removed, 3u);
+    EXPECT_LT(liveInstructions(f), before);
+    EXPECT_EQ(countOps(f, IrOp::Store), 1u); // side effects survive
+}
+
+TEST(Optimizer, KeepsSideEffects)
+{
+    IrFunction f = IrBuilder::makeKernel("fx", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto p = b.malloc_(b.constInt(256), 4); // allocation is observable
+    b.free_(p);
+    b.barrier();
+    b.ret();
+    optimizeFunction(f);
+    EXPECT_EQ(countOps(f, IrOp::Malloc), 1u);
+    EXPECT_EQ(countOps(f, IrOp::Free), 1u);
+    EXPECT_EQ(countOps(f, IrOp::Barrier), 1u);
+}
+
+TEST(Optimizer, PreservesWorkloadSemantics)
+{
+    // Optimize a workload kernel and check it produces identical output.
+    WorkloadProfile p = findWorkload("lavaMD");
+    p.grid_blocks = 4;
+    p.block_threads = 64;
+
+    auto run = [&](bool optimize) {
+        Device dev;
+        IrModule m = buildWorkloadKernel(p);
+        if (optimize)
+            optimizeModule(m);
+        const uint64_t in = dev.cudaMalloc(p.elements() * 4 + 64);
+        const uint64_t out = dev.cudaMalloc(p.elements() * 4 + 64);
+        for (unsigned i = 0; i < p.elements(); ++i)
+            dev.poke32(in + 4 * i, 3 * i + 1);
+        const CompiledKernel k = dev.compile(m, p.name);
+        const RunResult r = dev.launch(k, p.grid_blocks, p.block_threads,
+                                       {in, out, p.elements()});
+        EXPECT_FALSE(r.faulted());
+        std::vector<uint32_t> values(p.elements());
+        for (unsigned i = 0; i < p.elements(); ++i)
+            values[i] = dev.peek32(out + 4 * i);
+        return values;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Optimizer, OptimizedKernelStillDetectsUnderLmi)
+{
+    // Folding must not erase the violation or its detection.
+    IrFunction f = IrBuilder::makeKernel("oob", {{"buf", Type::ptr(4)}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto idx = b.iadd(b.constInt(60), b.constInt(4)); // folds to 64
+    b.store(b.gep(b.param(0), idx), b.constInt(1, Type::i32()));
+    b.ret();
+    IrModule m;
+    m.functions.push_back(std::move(f));
+    optimizeModule(m);
+
+    Device dev(makeMechanism(MechanismKind::Lmi));
+    const uint64_t buf = dev.cudaMalloc(256);
+    const CompiledKernel k = dev.compile(m, "oob");
+    const RunResult r = dev.launch(k, 1, 1, {buf});
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.faults[0].kind, FaultKind::SpatialOverflow);
+}
+
+TEST(Optimizer, IdempotentAtFixpoint)
+{
+    IrModule m = buildWorkloadKernel(findWorkload("hotspot"));
+    optimizeModule(m);
+    const std::string once = printModule(m);
+    const OptimizeStats again = optimizeModule(m);
+    EXPECT_EQ(again.total(), 0u);
+    EXPECT_EQ(printModule(m), once);
+}
+
+} // namespace
+} // namespace lmi

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the LMI pointer codec (paper §IV-A, §V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pointer.hpp"
+
+namespace lmi {
+namespace {
+
+TEST(PointerCodec, Constants)
+{
+    EXPECT_EQ(kExtentBits, 5u);
+    EXPECT_EQ(kExtentShift, 59u);
+    EXPECT_EQ(kMaxExtent, 31u);
+    EXPECT_EQ(kAddressMask, (uint64_t(1) << 59) - 1);
+}
+
+TEST(PointerCodec, ExtentEncodingMatchesPaperEquation)
+{
+    // E = ceil(max(log2 K, log2 S)) - log2 K + 1 with K = 256.
+    const PointerCodec c;
+    EXPECT_EQ(c.extentForSize(1), 1u);     // below K clamps to K
+    EXPECT_EQ(c.extentForSize(255), 1u);
+    EXPECT_EQ(c.extentForSize(256), 1u);   // 2^8 -> 1
+    EXPECT_EQ(c.extentForSize(257), 2u);   // rounds to 512
+    EXPECT_EQ(c.extentForSize(512), 2u);
+    EXPECT_EQ(c.extentForSize(1024), 3u);
+    EXPECT_EQ(c.extentForSize(uint64_t(1) << 38), 31u); // 256 GiB -> 31
+}
+
+TEST(PointerCodec, OversizeIsInvalid)
+{
+    const PointerCodec c;
+    EXPECT_EQ(c.extentForSize((uint64_t(1) << 38) + 1), 0u);
+    EXPECT_EQ(c.extentForSize(0), 0u);
+}
+
+TEST(PointerCodec, SizeForExtentRoundTrip)
+{
+    const PointerCodec c;
+    for (unsigned e = 1; e <= kMaxExtent; ++e) {
+        const uint64_t size = c.sizeForExtent(e);
+        EXPECT_EQ(c.extentForSize(size), e) << "extent " << e;
+        // Any request in (size/2, size] maps to the same extent.
+        if (size > c.minAllocSize()) {
+            EXPECT_EQ(c.extentForSize(size / 2 + 1), e);
+        }
+    }
+}
+
+TEST(PointerCodec, PaperWorkedExample)
+{
+    // §IV-A1: pointer 0x12345678, 256 B buffer -> base 0x12345600.
+    const PointerCodec c;
+    const uint64_t p = c.encode(0x12345678, 256);
+    EXPECT_EQ(PointerCodec::extentOf(p), 1u);
+    EXPECT_EQ(c.baseOf(p), 0x12345600u);
+    // Updating to 0x1234567F keeps the same base.
+    const uint64_t q = c.encode(0x1234567F, 256);
+    EXPECT_EQ(c.baseOf(q), 0x12345600u);
+}
+
+TEST(PointerCodec, EncodeDecodeFields)
+{
+    const PointerCodec c;
+    const uint64_t addr = 0x1'2345'6000ull;
+    const uint64_t p = c.encode(addr, 8192);
+    EXPECT_TRUE(PointerCodec::isValid(p));
+    EXPECT_EQ(PointerCodec::addressOf(p), addr);
+    EXPECT_EQ(c.sizeOf(p), 8192u);
+    EXPECT_EQ(PointerCodec::extentOf(p), c.extentForSize(8192));
+}
+
+TEST(PointerCodec, InvalidatePreservesAddress)
+{
+    const PointerCodec c;
+    const uint64_t p = c.encode(0xABCD00, 1024);
+    const uint64_t inv = PointerCodec::invalidate(p);
+    EXPECT_FALSE(PointerCodec::isValid(inv));
+    EXPECT_EQ(PointerCodec::addressOf(inv), PointerCodec::addressOf(p));
+}
+
+TEST(PointerCodec, ModifiableAndUnmodifiableMasks)
+{
+    const PointerCodec c;
+    const unsigned e = c.extentForSize(4096); // 2^12 -> 12 modifiable bits
+    EXPECT_EQ(c.modifiableBits(e), 12u);
+    const uint64_t um = c.unmodifiableMask(e);
+    EXPECT_EQ(um & 0xFFF, 0u);
+    EXPECT_EQ(~um, lowMask(12));
+}
+
+TEST(PointerCodec, UmIdentifiesBuffer)
+{
+    const PointerCodec c;
+    const uint64_t a = c.encode(0x10000, 256);
+    const uint64_t b = c.encode(0x10100, 256);
+    EXPECT_NE(c.umOf(a), c.umOf(b));
+    // Interior pointers of the same buffer share the UM value.
+    const uint64_t a2 = c.encode(0x100F8, 256);
+    EXPECT_EQ(c.umOf(a), c.umOf(a2));
+}
+
+TEST(PointerCodec, BaseOfInteriorPointer)
+{
+    const PointerCodec c;
+    const uint64_t p = c.encode(0x40000 + 1000, 4096);
+    EXPECT_EQ(c.baseOf(p), 0x40000u);
+}
+
+TEST(PointerCodec, CustomMinimumAllocationK)
+{
+    // Ablation codec with K = 16.
+    const PointerCodec c(4);
+    EXPECT_EQ(c.minAllocSize(), 16u);
+    EXPECT_EQ(c.extentForSize(16), 1u);
+    EXPECT_EQ(c.extentForSize(17), 2u);
+    EXPECT_EQ(c.maxAllocSize(), uint64_t(1) << 34);
+}
+
+TEST(PointerCodec, MaxAllocWithDefaultKIs256GiB)
+{
+    const PointerCodec c;
+    EXPECT_EQ(c.maxAllocSize(), uint64_t(256) * 1024 * 1024 * 1024);
+}
+
+// Property sweep: encode/base/size invariants across all extents and
+// many offsets.
+class PointerProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PointerProperty, InteriorPointersKeepBaseAndSize)
+{
+    const PointerCodec c;
+    const unsigned e = GetParam();
+    const uint64_t size = c.sizeForExtent(e);
+    if (size > (uint64_t(1) << 40))
+        GTEST_SKIP() << "address space of test region too small";
+    const uint64_t base = size * 3; // size-aligned by construction
+    for (uint64_t frac : {uint64_t(0), size / 4, size / 2, size - 1}) {
+        const uint64_t p = c.encode(base + frac, size);
+        EXPECT_EQ(c.baseOf(p), base);
+        EXPECT_EQ(c.sizeOf(p), size);
+        EXPECT_EQ(c.umOf(p), base >> c.modifiableBits(e));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtents, PointerProperty,
+                         ::testing::Range(1u, 32u));
+
+} // namespace
+} // namespace lmi

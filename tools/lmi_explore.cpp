@@ -1,0 +1,259 @@
+/**
+ * @file
+ * lmi_explore — command-line front end for the library.
+ *
+ *   lmi_explore list
+ *       Print the Table V workloads and the available mechanisms.
+ *   lmi_explore run <workload> <mechanism> [scale]
+ *       Execute one workload under one mechanism and print the run
+ *       statistics (cycles, instruction mix, cache behaviour, faults).
+ *   lmi_explore compare <workload> [scale]
+ *       Run one workload under every hardware-comparison mechanism and
+ *       print normalized execution times.
+ *   lmi_explore disasm <workload> <mechanism>
+ *       Print the generated SASS-like code (hint bits visible).
+ *   lmi_explore security <mechanism>
+ *       Run the 38-case violation suite and print per-case outcomes.
+ *   lmi_explore trace <workload> <mechanism> [events]
+ *       Capture an instruction trace (NVBit-style) and print the first
+ *       N events plus the stream characterization.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/trace.hpp"
+#include "mechanisms/registry.hpp"
+#include "security/violations.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace lmi;
+
+namespace {
+
+const std::vector<MechanismKind> kAllMechanisms = {
+    MechanismKind::Baseline,    MechanismKind::Lmi,
+    MechanismKind::LmiLiveness, MechanismKind::GpuShield,
+    MechanismKind::BaggySw,     MechanismKind::Gmod,
+    MechanismKind::CuCatch,     MechanismKind::MemcheckDbi,
+    MechanismKind::LmiDbi};
+
+bool
+parseMechanism(const std::string& name, MechanismKind* out)
+{
+    for (MechanismKind kind : kAllMechanisms) {
+        if (name == mechanismKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  lmi_explore list\n"
+        "  lmi_explore run <workload> <mechanism> [scale]\n"
+        "  lmi_explore compare <workload> [scale]\n"
+        "  lmi_explore disasm <workload> <mechanism>\n"
+        "  lmi_explore security <mechanism>\n"
+        "  lmi_explore trace <workload> <mechanism> [events]\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    TextTable table({"workload", "suite", "grid", "block", "traits"});
+    for (const auto& p : workloadSuite()) {
+        std::string traits;
+        if (p.scattered)
+            traits += "scattered ";
+        if (p.shared_tile_bytes)
+            traits += "shared ";
+        if (p.local_buf_bytes)
+            traits += "local ";
+        if (p.heap_allocs)
+            traits += "heap ";
+        table.addRow({p.name, p.suite, std::to_string(p.grid_blocks),
+                      std::to_string(p.block_threads),
+                      traits.empty() ? "streaming" : traits});
+    }
+    std::printf("%s\nmechanisms:", table.render().c_str());
+    for (MechanismKind kind : kAllMechanisms)
+        std::printf(" %s", mechanismKindName(kind));
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(const std::string& workload, MechanismKind kind, double scale)
+{
+    Device dev(makeMechanism(kind));
+    const WorkloadRun run = runWorkload(dev, findWorkload(workload), scale);
+    const RunResult& r = run.result;
+
+    TextTable table({"metric", "value"});
+    table.addRow({"cycles", std::to_string(r.cycles)});
+    table.addRow({"warp instructions", std::to_string(r.instructions)});
+    table.addRow({"thread instructions",
+                  std::to_string(r.thread_instructions)});
+    table.addRow({"LDG/STG", std::to_string(r.ldg) + " / " +
+                                 std::to_string(r.stg)});
+    table.addRow({"LDS/STS", std::to_string(r.lds) + " / " +
+                                 std::to_string(r.sts)});
+    table.addRow({"LDL/STL", std::to_string(r.ldl) + " / " +
+                                 std::to_string(r.stl)});
+    table.addRow({"L1 hit rate",
+                  fmtPct(100.0 * double(r.l1_hits) /
+                         double(std::max<uint64_t>(
+                             1, r.l1_hits + r.l1_misses)))});
+    table.addRow({"L2 hit rate",
+                  fmtPct(100.0 * double(r.l2_hits) /
+                         double(std::max<uint64_t>(
+                             1, r.l2_hits + r.l2_misses)))});
+    table.addRow({"DRAM accesses", std::to_string(r.dram_accesses)});
+    table.addRow({"peak reserved (host allocs)",
+                  std::to_string(run.peak_reserved / 1024) + " KiB"});
+    table.addRow({"faults", std::to_string(r.faults.size())});
+    std::printf("%s", table.render().c_str());
+
+    if (dev.stats().counter("ocu.checks"))
+        std::printf("OCU checks: %llu (violations: %llu)\n",
+                    static_cast<unsigned long long>(
+                        dev.stats().counter("ocu.checks")),
+                    static_cast<unsigned long long>(
+                        dev.stats().counter("ocu.violations")));
+    if (dev.stats().counter("gpushield.rcache_probes"))
+        std::printf("RCache probes: %llu (misses: %llu)\n",
+                    static_cast<unsigned long long>(
+                        dev.stats().counter("gpushield.rcache_probes")),
+                    static_cast<unsigned long long>(
+                        dev.stats().counter("gpushield.rcache_misses")));
+    return r.faulted() ? 1 : 0;
+}
+
+int
+cmdCompare(const std::string& workload, double scale)
+{
+    const WorkloadProfile& profile = findWorkload(workload);
+    uint64_t base = 0;
+    {
+        Device dev;
+        base = runWorkload(dev, profile, scale).result.cycles;
+    }
+    TextTable table({"mechanism", "cycles", "normalized"});
+    table.addRow({"baseline", std::to_string(base), "1.0000x"});
+    for (MechanismKind kind : hardwareComparisonMechanisms()) {
+        Device dev(makeMechanism(kind));
+        const uint64_t cycles =
+            runWorkload(dev, profile, scale).result.cycles;
+        table.addRow({mechanismKindName(kind), std::to_string(cycles),
+                      fmtF(double(cycles) / double(base), 4) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const std::string& workload, MechanismKind kind)
+{
+    Device dev(makeMechanism(kind));
+    const WorkloadProfile& profile = findWorkload(workload);
+    const CompiledKernel ck =
+        dev.compile(buildWorkloadKernel(profile), profile.name);
+    std::printf("%s", ck.program.disassemble().c_str());
+    return 0;
+}
+
+int
+cmdSecurity(MechanismKind kind)
+{
+    unsigned detected = 0;
+    for (const ViolationCase& vcase : violationSuite()) {
+        Device dev(makeMechanism(kind));
+        const CaseOutcome outcome = vcase.run(dev);
+        detected += outcome.detected();
+        std::printf("%-42s %s%s\n", vcase.id.c_str(),
+                    outcome.detected() ? "DETECTED" : "missed",
+                    outcome.compile_rejected ? " (compile-time)" : "");
+    }
+    std::printf("total: %u/%zu\n", detected, violationSuite().size());
+    return 0;
+}
+
+int
+cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
+{
+    Device dev(makeMechanism(kind));
+    const WorkloadProfile profile = findWorkload(workload);
+    WorkloadProfile small = profile;
+    small.grid_blocks = std::min(small.grid_blocks, 4u);
+    small.block_threads = std::min(small.block_threads, 64u);
+    const uint64_t in = dev.cudaMalloc(small.elements() * 4 + 64);
+    const uint64_t out = dev.cudaMalloc(small.elements() * 4 + 64);
+    const CompiledKernel ck =
+        dev.compile(buildWorkloadKernel(small), small.name);
+    TraceRecorder recorder(events);
+    const RunResult r =
+        dev.launchTraced(ck, small.grid_blocks, small.block_threads,
+                         {in, out, small.elements()}, recorder);
+    for (const TraceEvent& e : recorder.events())
+        std::printf("%s\n", traceEventToString(e).c_str());
+    std::printf("... %llu events total\n\n",
+                static_cast<unsigned long long>(recorder.totalSeen()));
+    std::printf("%s", analyzeTrace(recorder.events()).toString().c_str());
+    return r.faulted() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    setVerbose(false);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run" && argc >= 4) {
+            MechanismKind kind;
+            if (!parseMechanism(argv[3], &kind))
+                return usage();
+            return cmdRun(argv[2], kind,
+                          argc > 4 ? std::atof(argv[4]) : 0.5);
+        }
+        if (cmd == "compare" && argc >= 3)
+            return cmdCompare(argv[2], argc > 3 ? std::atof(argv[3]) : 0.5);
+        if (cmd == "disasm" && argc >= 4) {
+            MechanismKind kind;
+            if (!parseMechanism(argv[3], &kind))
+                return usage();
+            return cmdDisasm(argv[2], kind);
+        }
+        if (cmd == "trace" && argc >= 4) {
+            MechanismKind kind;
+            if (!parseMechanism(argv[3], &kind))
+                return usage();
+            return cmdTrace(argv[2], kind,
+                            argc > 4 ? size_t(std::atoll(argv[4])) : 20);
+        }
+        if (cmd == "security" && argc >= 3) {
+            MechanismKind kind;
+            if (!parseMechanism(argv[2], &kind))
+                return usage();
+            return cmdSecurity(kind);
+        }
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
