@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lmi_design.dir/ablation_lmi_design.cpp.o"
+  "CMakeFiles/ablation_lmi_design.dir/ablation_lmi_design.cpp.o.d"
+  "ablation_lmi_design"
+  "ablation_lmi_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lmi_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

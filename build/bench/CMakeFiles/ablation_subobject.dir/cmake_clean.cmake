@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subobject.dir/ablation_subobject.cpp.o"
+  "CMakeFiles/ablation_subobject.dir/ablation_subobject.cpp.o.d"
+  "ablation_subobject"
+  "ablation_subobject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

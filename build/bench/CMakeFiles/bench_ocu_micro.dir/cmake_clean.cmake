@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocu_micro.dir/bench_ocu_micro.cpp.o"
+  "CMakeFiles/bench_ocu_micro.dir/bench_ocu_micro.cpp.o.d"
+  "bench_ocu_micro"
+  "bench_ocu_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_region_mix.dir/fig01_region_mix.cpp.o"
+  "CMakeFiles/fig01_region_mix.dir/fig01_region_mix.cpp.o.d"
+  "fig01_region_mix"
+  "fig01_region_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_region_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

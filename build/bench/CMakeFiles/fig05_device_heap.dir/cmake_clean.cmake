@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_device_heap.dir/fig05_device_heap.cpp.o"
+  "CMakeFiles/fig05_device_heap.dir/fig05_device_heap.cpp.o.d"
+  "fig05_device_heap"
+  "fig05_device_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_device_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

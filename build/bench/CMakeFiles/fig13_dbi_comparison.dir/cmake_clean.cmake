@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dbi_comparison.dir/fig13_dbi_comparison.cpp.o"
+  "CMakeFiles/fig13_dbi_comparison.dir/fig13_dbi_comparison.cpp.o.d"
+  "fig13_dbi_comparison"
+  "fig13_dbi_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dbi_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

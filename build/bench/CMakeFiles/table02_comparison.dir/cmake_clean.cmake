@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_comparison.dir/table02_comparison.cpp.o"
+  "CMakeFiles/table02_comparison.dir/table02_comparison.cpp.o.d"
+  "table02_comparison"
+  "table02_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_security.dir/table03_security.cpp.o"
+  "CMakeFiles/table03_security.dir/table03_security.cpp.o.d"
+  "table03_security"
+  "table03_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_hw_overhead.dir/table06_hw_overhead.cpp.o"
+  "CMakeFiles/table06_hw_overhead.dir/table06_hw_overhead.cpp.o.d"
+  "table06_hw_overhead"
+  "table06_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

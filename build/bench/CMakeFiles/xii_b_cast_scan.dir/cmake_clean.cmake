@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xii_b_cast_scan.dir/xii_b_cast_scan.cpp.o"
+  "CMakeFiles/xii_b_cast_scan.dir/xii_b_cast_scan.cpp.o.d"
+  "xii_b_cast_scan"
+  "xii_b_cast_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xii_b_cast_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xii_b_cast_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for xii_b_cast_scan.
+# This may be replaced when dependencies are built.

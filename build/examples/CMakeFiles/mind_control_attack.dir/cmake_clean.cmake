@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_control_attack.dir/mind_control_attack.cpp.o"
+  "CMakeFiles/mind_control_attack.dir/mind_control_attack.cpp.o.d"
+  "mind_control_attack"
+  "mind_control_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_control_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mind_control_attack.
+# This may be replaced when dependencies are built.

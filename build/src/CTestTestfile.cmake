@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("core")
+subdirs("alloc")
+subdirs("ir")
+subdirs("compiler")
+subdirs("sim")
+subdirs("mechanisms")
+subdirs("workloads")
+subdirs("security")
+subdirs("hwcost")

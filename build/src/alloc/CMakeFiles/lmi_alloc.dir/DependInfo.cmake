@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/device_heap.cpp" "src/alloc/CMakeFiles/lmi_alloc.dir/device_heap.cpp.o" "gcc" "src/alloc/CMakeFiles/lmi_alloc.dir/device_heap.cpp.o.d"
+  "/root/repo/src/alloc/global_allocator.cpp" "src/alloc/CMakeFiles/lmi_alloc.dir/global_allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/lmi_alloc.dir/global_allocator.cpp.o.d"
+  "/root/repo/src/alloc/layout.cpp" "src/alloc/CMakeFiles/lmi_alloc.dir/layout.cpp.o" "gcc" "src/alloc/CMakeFiles/lmi_alloc.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lmi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lmi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lmi_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

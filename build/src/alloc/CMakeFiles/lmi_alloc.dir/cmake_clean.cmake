@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_alloc.dir/device_heap.cpp.o"
+  "CMakeFiles/lmi_alloc.dir/device_heap.cpp.o.d"
+  "CMakeFiles/lmi_alloc.dir/global_allocator.cpp.o"
+  "CMakeFiles/lmi_alloc.dir/global_allocator.cpp.o.d"
+  "CMakeFiles/lmi_alloc.dir/layout.cpp.o"
+  "CMakeFiles/lmi_alloc.dir/layout.cpp.o.d"
+  "liblmi_alloc.a"
+  "liblmi_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

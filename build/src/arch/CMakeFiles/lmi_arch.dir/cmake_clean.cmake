@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_arch.dir/isa.cpp.o"
+  "CMakeFiles/lmi_arch.dir/isa.cpp.o.d"
+  "CMakeFiles/lmi_arch.dir/microcode.cpp.o"
+  "CMakeFiles/lmi_arch.dir/microcode.cpp.o.d"
+  "liblmi_arch.a"
+  "liblmi_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_common.dir/logging.cpp.o"
+  "CMakeFiles/lmi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lmi_common.dir/stats.cpp.o"
+  "CMakeFiles/lmi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lmi_common.dir/table.cpp.o"
+  "CMakeFiles/lmi_common.dir/table.cpp.o.d"
+  "liblmi_common.a"
+  "liblmi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/lmi_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/lmi_compiler.dir/instrument.cpp.o"
+  "CMakeFiles/lmi_compiler.dir/instrument.cpp.o.d"
+  "CMakeFiles/lmi_compiler.dir/optimizer.cpp.o"
+  "CMakeFiles/lmi_compiler.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lmi_compiler.dir/pointer_analysis.cpp.o"
+  "CMakeFiles/lmi_compiler.dir/pointer_analysis.cpp.o.d"
+  "liblmi_compiler.a"
+  "liblmi_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_core.dir/fault.cpp.o"
+  "CMakeFiles/lmi_core.dir/fault.cpp.o.d"
+  "liblmi_core.a"
+  "liblmi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

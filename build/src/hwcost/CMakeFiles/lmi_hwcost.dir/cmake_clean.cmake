@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_hwcost.dir/hwcost.cpp.o"
+  "CMakeFiles/lmi_hwcost.dir/hwcost.cpp.o.d"
+  "liblmi_hwcost.a"
+  "liblmi_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_ir.dir/builder.cpp.o"
+  "CMakeFiles/lmi_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/lmi_ir.dir/ir.cpp.o"
+  "CMakeFiles/lmi_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/lmi_ir.dir/parser.cpp.o"
+  "CMakeFiles/lmi_ir.dir/parser.cpp.o.d"
+  "liblmi_ir.a"
+  "liblmi_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanisms/dbi.cpp" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/dbi.cpp.o" "gcc" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/dbi.cpp.o.d"
+  "/root/repo/src/mechanisms/gpushield.cpp" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/gpushield.cpp.o" "gcc" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/gpushield.cpp.o.d"
+  "/root/repo/src/mechanisms/lmi_mechanism.cpp" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/lmi_mechanism.cpp.o" "gcc" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/lmi_mechanism.cpp.o.d"
+  "/root/repo/src/mechanisms/registry.cpp" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/registry.cpp.o" "gcc" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/registry.cpp.o.d"
+  "/root/repo/src/mechanisms/software.cpp" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/software.cpp.o" "gcc" "src/mechanisms/CMakeFiles/lmi_mechanisms.dir/software.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lmi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lmi_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/lmi_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lmi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lmi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lmi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_mechanisms.dir/dbi.cpp.o"
+  "CMakeFiles/lmi_mechanisms.dir/dbi.cpp.o.d"
+  "CMakeFiles/lmi_mechanisms.dir/gpushield.cpp.o"
+  "CMakeFiles/lmi_mechanisms.dir/gpushield.cpp.o.d"
+  "CMakeFiles/lmi_mechanisms.dir/lmi_mechanism.cpp.o"
+  "CMakeFiles/lmi_mechanisms.dir/lmi_mechanism.cpp.o.d"
+  "CMakeFiles/lmi_mechanisms.dir/registry.cpp.o"
+  "CMakeFiles/lmi_mechanisms.dir/registry.cpp.o.d"
+  "CMakeFiles/lmi_mechanisms.dir/software.cpp.o"
+  "CMakeFiles/lmi_mechanisms.dir/software.cpp.o.d"
+  "liblmi_mechanisms.a"
+  "liblmi_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_security.dir/violations.cpp.o"
+  "CMakeFiles/lmi_security.dir/violations.cpp.o.d"
+  "liblmi_security.a"
+  "liblmi_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_sim.dir/device.cpp.o"
+  "CMakeFiles/lmi_sim.dir/device.cpp.o.d"
+  "CMakeFiles/lmi_sim.dir/gpu.cpp.o"
+  "CMakeFiles/lmi_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/lmi_sim.dir/trace.cpp.o"
+  "CMakeFiles/lmi_sim.dir/trace.cpp.o.d"
+  "liblmi_sim.a"
+  "liblmi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/lmi_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/lmi_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lmi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lmi_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/lmi_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lmi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lmi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lmi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

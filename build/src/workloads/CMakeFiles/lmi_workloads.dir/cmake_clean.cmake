@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/lmi_workloads.dir/workloads.cpp.o.d"
+  "liblmi_workloads.a"
+  "liblmi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

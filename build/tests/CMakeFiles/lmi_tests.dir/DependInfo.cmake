@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc.cpp" "tests/CMakeFiles/lmi_tests.dir/test_alloc.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/lmi_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/lmi_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_hwcost.cpp" "tests/CMakeFiles/lmi_tests.dir/test_hwcost.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_hwcost.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lmi_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/lmi_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/lmi_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_liveness.cpp" "tests/CMakeFiles/lmi_tests.dir/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_liveness.cpp.o.d"
+  "/root/repo/tests/test_mechanisms.cpp" "tests/CMakeFiles/lmi_tests.dir/test_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_mechanisms.cpp.o.d"
+  "/root/repo/tests/test_memsys.cpp" "tests/CMakeFiles/lmi_tests.dir/test_memsys.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_memsys.cpp.o.d"
+  "/root/repo/tests/test_ocu.cpp" "tests/CMakeFiles/lmi_tests.dir/test_ocu.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_ocu.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/lmi_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/lmi_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_pointer.cpp" "tests/CMakeFiles/lmi_tests.dir/test_pointer.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_pointer.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/lmi_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_security.cpp" "tests/CMakeFiles/lmi_tests.dir/test_security.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_security.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/lmi_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_subobject.cpp" "tests/CMakeFiles/lmi_tests.dir/test_subobject.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_subobject.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/lmi_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/lmi_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/lmi_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lmi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lmi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lmi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/lmi_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lmi_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lmi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/lmi_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lmi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/lmi_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/lmi_hwcost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for lmi_tests.
+# This may be replaced when dependencies are built.

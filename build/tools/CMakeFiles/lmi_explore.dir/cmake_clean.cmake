@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmi_explore.dir/lmi_explore.cpp.o"
+  "CMakeFiles/lmi_explore.dir/lmi_explore.cpp.o.d"
+  "lmi_explore"
+  "lmi_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmi_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
