@@ -2,12 +2,16 @@
  * @file
  * Shared scaffolding for the experiment harnesses: every bench prints a
  * header naming the paper artifact it regenerates, runs quietly, and
- * renders its results with TextTable.
+ * renders its results through the common/table.hpp formatter (the same
+ * formatter the ExperimentRunner's CSV export uses — there is exactly
+ * one table/CSV renderer in the codebase).
  */
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/logging.hpp"
@@ -21,9 +25,9 @@ inline void
 banner(const std::string& artifact, const std::string& what)
 {
     setVerbose(false);
-    std::printf("==============================================================\n");
-    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
-    std::printf("==============================================================\n");
+    const std::string rule = ruleLine(62);
+    std::printf("%s\n%s — %s\n%s\n", rule.c_str(), artifact.c_str(),
+                what.c_str(), rule.c_str());
 }
 
 /** Print a paper-vs-measured summary line. */
@@ -31,8 +35,43 @@ inline void
 compare(const std::string& metric, double paper, double measured,
         const std::string& unit)
 {
-    std::printf("  %-44s paper %8.2f%s   measured %8.2f%s\n", metric.c_str(),
-                paper, unit.c_str(), measured, unit.c_str());
+    const std::string line =
+        "  " + padRight(metric, 44) + " paper " +
+        padLeft(fmtF(paper, 2) + unit, 10) + "   measured " +
+        padLeft(fmtF(measured, 2) + unit, 10);
+    std::printf("%s\n", line.c_str());
+}
+
+/**
+ * Common bench command line: an optional positional scale factor plus
+ * the sweep flags, e.g. `fig12_perf_comparison 0.5 --jobs 4`.
+ */
+struct BenchArgs
+{
+    double scale;
+    /** Worker threads for ExperimentRunner (0 = hardware concurrency). */
+    unsigned jobs = 0;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char** argv, double default_scale)
+{
+    BenchArgs args;
+    args.scale = default_scale;
+    bool scale_seen = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            args.jobs = unsigned(std::atoi(argv[++i]));
+        } else if (!scale_seen) {
+            args.scale = std::atof(argv[i]);
+            scale_seen = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [scale] [--jobs N]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
 }
 
 } // namespace lmi::bench

@@ -4,6 +4,11 @@
  * GPUShield, and LMI against the unprotected baseline over the full
  * Table V suite, on the Table IV machine.
  *
+ * The whole figure is one declarative SweepSpec — 28 workloads x
+ * (baseline + 3 mechanisms) — executed by the ExperimentRunner across
+ * all cores; `--jobs N` controls the pool, `LMI_CACHE_DIR` enables the
+ * on-disk result cache so a re-run only simulates changed cells.
+ *
  * Paper headlines this harness must reproduce in shape:
  *  - LMI: near-zero overhead everywhere (average 0.22%);
  *  - GPUShield: competitive except on uncoalesced workloads —
@@ -16,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "mechanisms/registry.hpp"
+#include "runner/experiment_runner.hpp"
 #include "sim/config.hpp"
 #include "workloads/workloads.hpp"
 
@@ -45,31 +51,52 @@ main(int argc, char** argv)
     bench::banner("Figure 12",
                   "normalized execution time: Baggy / GPUShield / LMI");
     printConfig();
-    const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 1.0);
+
+    SweepSpec spec;
+    for (const auto& profile : workloadSuite())
+        spec.workloads.push_back(profile.name);
+    spec.mechanisms.push_back(MechanismKind::Baseline);
+    for (MechanismKind kind : hardwareComparisonMechanisms())
+        spec.mechanisms.push_back(kind);
+    spec.scales = {args.scale};
+    spec.jobs = args.jobs;
+    spec.progress = true;
+    if (const char* dir = std::getenv("LMI_CACHE_DIR"))
+        spec.cache_dir = dir;
+
+    const SweepResult sweep = runSweep(spec);
 
     TextTable table({"benchmark", "baseline cyc", "baggy-sw", "gpushield",
                      "lmi"});
     std::vector<double> baggy_norm, shield_norm, lmi_norm;
     double needle_shield = 0, lstm_shield = 0, baggy_peak = 0, lmi_max = 0;
 
-    for (const auto& profile : workloadSuite()) {
-        uint64_t base_cycles = 0;
-        {
-            Device dev(makeMechanism(MechanismKind::Baseline));
-            base_cycles = runWorkload(dev, profile, scale).result.cycles;
+    for (const std::string& name : spec.workloads) {
+        const CellResult* base =
+            sweep.find(name, MechanismKind::Baseline, args.scale);
+        if (!base || !base->ok) {
+            std::printf("ERROR: %s baseline: %s\n", name.c_str(),
+                        base ? base->error.c_str() : "missing cell");
+            return 1;
         }
-        std::vector<std::string> row = {profile.name,
-                                        std::to_string(base_cycles)};
+        const uint64_t base_cycles = base->result.cycles;
+        std::vector<std::string> row = {name, std::to_string(base_cycles)};
         for (MechanismKind kind : hardwareComparisonMechanisms()) {
-            Device dev(makeMechanism(kind));
-            const WorkloadRun run = runWorkload(dev, profile, scale);
-            if (run.result.faulted()) {
-                std::printf("FAULT: %s under %s\n", profile.name.c_str(),
+            const CellResult* cell = sweep.find(name, kind, args.scale);
+            if (!cell || !cell->ok) {
+                std::printf("ERROR: %s under %s: %s\n", name.c_str(),
+                            mechanismKindName(kind),
+                            cell ? cell->error.c_str() : "missing cell");
+                return 1;
+            }
+            if (cell->faulted()) {
+                std::printf("FAULT: %s under %s\n", name.c_str(),
                             mechanismKindName(kind));
                 return 1;
             }
             const double norm =
-                double(run.result.cycles) / double(base_cycles);
+                double(cell->result.cycles) / double(base_cycles);
             row.push_back(fmtF(norm, 4) + "x");
             switch (kind) {
               case MechanismKind::BaggySw:
@@ -78,9 +105,9 @@ main(int argc, char** argv)
                 break;
               case MechanismKind::GpuShield:
                 shield_norm.push_back(norm);
-                if (profile.name == "needle")
+                if (name == "needle")
                     needle_shield = (norm - 1.0) * 100.0;
-                if (profile.name == "LSTM")
+                if (name == "LSTM")
                     lstm_shield = (norm - 1.0) * 100.0;
                 break;
               case MechanismKind::Lmi:
@@ -111,5 +138,8 @@ main(int argc, char** argv)
                 "GPUShield's outliers are the uncoalesced workloads "
                 "(needle, LSTM); LMI stays below %.2f%% on every "
                 "benchmark.\n", lmi_max);
+    std::printf("Sweep: %zu cells in %.1f s (%zu cached, %zu failed).\n",
+                sweep.cells.size(), sweep.wall_ms / 1000.0,
+                sweep.cache_hits, sweep.failures);
     return 0;
 }

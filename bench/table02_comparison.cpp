@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "runner/experiment_runner.hpp"
 #include "security/violations.hpp"
 #include "workloads/workloads.hpp"
 
@@ -26,28 +27,20 @@ mark(unsigned detected, unsigned total)
     return "+";     // partial
 }
 
-std::vector<uint64_t>
-baselineCycles(double scale)
-{
-    std::vector<uint64_t> cycles;
-    for (const auto& profile : workloadSuite()) {
-        Device dev;
-        cycles.push_back(runWorkload(dev, profile, scale).result.cycles);
-    }
-    return cycles;
-}
-
 double
-measuredOverheadPct(MechanismKind kind, double scale,
-                    const std::vector<uint64_t>& base)
+measuredOverheadPct(const SweepResult& sweep, MechanismKind kind,
+                    double scale)
 {
     std::vector<double> norms;
-    size_t i = 0;
     for (const auto& profile : workloadSuite()) {
-        Device dev(makeMechanism(kind));
-        norms.push_back(
-            double(runWorkload(dev, profile, scale).result.cycles) /
-            double(base[i++]));
+        const CellResult* base =
+            sweep.find(profile.name, MechanismKind::Baseline, scale);
+        const CellResult* cell = sweep.find(profile.name, kind, scale);
+        if (!base || !base->ok || !cell || !cell->ok)
+            lmi_fatal("incomplete sweep for %s under %s",
+                      profile.name.c_str(), mechanismKindName(kind));
+        norms.push_back(double(cell->result.cycles) /
+                        double(base->result.cycles));
     }
     return (geomean(norms) - 1.0) * 100.0;
 }
@@ -58,8 +51,21 @@ int
 main(int argc, char** argv)
 {
     bench::banner("Table II", "mechanism comparison (coverage + overhead)");
-    const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-    const std::vector<uint64_t> base_cycles = baselineCycles(scale);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 1.0);
+    const double scale = args.scale;
+
+    // One sweep covers the baseline and every measured column.
+    SweepSpec spec;
+    for (const auto& profile : workloadSuite())
+        spec.workloads.push_back(profile.name);
+    spec.mechanisms = {MechanismKind::Baseline, MechanismKind::BaggySw,
+                       MechanismKind::GpuShield, MechanismKind::Lmi};
+    spec.scales = {scale};
+    spec.jobs = args.jobs;
+    spec.progress = true;
+    if (const char* dir = std::getenv("LMI_CACHE_DIR"))
+        spec.cache_dir = dir;
+    const SweepResult sweep = runSweep(spec);
 
     struct Row
     {
@@ -95,7 +101,7 @@ main(int argc, char** argv)
         std::string overhead;
         if (row.measured) {
             overhead =
-                fmtPct(measuredOverheadPct(row.kind, scale, base_cycles)) +
+                fmtPct(measuredOverheadPct(sweep, row.kind, scale)) +
                 " (measured)";
         } else {
             overhead = fmtPct(row.quoted_overhead_pct) + " (paper)";

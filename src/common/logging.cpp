@@ -1,24 +1,27 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
 
 namespace lmi {
 
 namespace {
-bool g_verbose = true;
+// Atomic so parallel sweep workers may emit (or silence) messages while
+// another thread toggles verbosity without a data race.
+std::atomic<bool> g_verbose{true};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,36 @@ class StatRegistry
   private:
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, double> gauges_;
+};
+
+/**
+ * Mutex-guarded aggregation point for concurrent producers.
+ *
+ * StatRegistry itself stays lock-free because simulator components bump
+ * counters on the launch hot path and every job in a parallel sweep owns
+ * a private Device (and therefore a private registry). Cross-thread
+ * aggregation — sweep-wide totals in the ExperimentRunner — goes through
+ * this wrapper instead: producers merge() their private registries in,
+ * and readers take a consistent snapshot() at any time.
+ */
+class SharedStatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name. */
+    void inc(const std::string& name, uint64_t delta = 1);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string& name, double value);
+
+    /** Merge a producer's private registry into the shared one. */
+    void merge(const StatRegistry& other);
+
+    /** Consistent copy of the current totals. */
+    StatRegistry snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    StatRegistry registry_;
 };
 
 /** Geometric mean of @p values; values must be positive. */

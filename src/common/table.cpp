@@ -81,6 +81,60 @@ TextTable::render() const
 }
 
 std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    for (const auto& row : rows_) {
+        if (row.empty())
+            continue; // separators are a text-rendering artifact
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << csvEscape(row[c]);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+csvEscape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+padRight(std::string s, size_t width)
+{
+    if (s.size() < width)
+        s.append(width - s.size(), ' ');
+    return s;
+}
+
+std::string
+padLeft(std::string s, size_t width)
+{
+    if (s.size() < width)
+        s.insert(0, width - s.size(), ' ');
+    return s;
+}
+
+std::string
+ruleLine(size_t width, char fill)
+{
+    return std::string(width, fill);
+}
+
+std::string
 fmtF(double v, int digits)
 {
     char buf[64];

@@ -35,6 +35,14 @@ class TextTable
     /** Render the whole table, trailing newline included. */
     std::string render() const;
 
+    /**
+     * Render as RFC-4180-style CSV (header first, separators skipped,
+     * cells quoted only when they need it). This is the one CSV emitter
+     * in the codebase: bench output and the ExperimentRunner's sweep
+     * export both format through it.
+     */
+    std::string renderCsv() const;
+
     /** Number of data rows added (separators excluded). */
     size_t rowCount() const;
 
@@ -51,5 +59,17 @@ std::string fmtPct(double v, int digits = 2);
 
 /** Format @p v as a multiplicative factor, e.g. "32.98x". */
 std::string fmtX(double v, int digits = 2);
+
+/** CSV-quote @p cell when it contains a comma, quote, or newline. */
+std::string csvEscape(const std::string& cell);
+
+/** @p s left-aligned in a field of @p width (never truncates). */
+std::string padRight(std::string s, size_t width);
+
+/** @p s right-aligned in a field of @p width (never truncates). */
+std::string padLeft(std::string s, size_t width);
+
+/** A horizontal rule of @p width copies of @p fill. */
+std::string ruleLine(size_t width, char fill = '=');
 
 } // namespace lmi

@@ -26,6 +26,30 @@ mechanismKindName(MechanismKind kind)
     return "unknown";
 }
 
+const std::vector<MechanismKind>&
+allMechanisms()
+{
+    static const std::vector<MechanismKind> all = {
+        MechanismKind::Baseline,     MechanismKind::Lmi,
+        MechanismKind::LmiLiveness,  MechanismKind::LmiSubobject,
+        MechanismKind::GpuShield,    MechanismKind::BaggySw,
+        MechanismKind::Gmod,         MechanismKind::CuCatch,
+        MechanismKind::MemcheckDbi,  MechanismKind::LmiDbi};
+    return all;
+}
+
+bool
+mechanismFromName(const std::string& name, MechanismKind* out)
+{
+    for (MechanismKind kind : allMechanisms()) {
+        if (name == mechanismKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<ProtectionMechanism>
 makeMechanism(MechanismKind kind)
 {

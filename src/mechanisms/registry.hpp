@@ -32,6 +32,16 @@ enum class MechanismKind {
 /** Human-readable mechanism name. */
 const char* mechanismKindName(MechanismKind kind);
 
+/**
+ * Every mechanism the library implements, in enum order. The single
+ * canonical list: tools and benches iterate this instead of keeping
+ * their own copies.
+ */
+const std::vector<MechanismKind>& allMechanisms();
+
+/** Parse a mechanismKindName() string; false if @p name is unknown. */
+bool mechanismFromName(const std::string& name, MechanismKind* out);
+
 /** Construct a fresh mechanism instance. */
 std::unique_ptr<ProtectionMechanism> makeMechanism(MechanismKind kind);
 

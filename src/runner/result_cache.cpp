@@ -1,0 +1,68 @@
+#include "runner/result_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lmi {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        lmi_fatal("cannot create result cache at %s: %s", dir_.c_str(),
+                  ec.message().c_str());
+}
+
+std::string
+ResultCache::entryPath(uint64_t fingerprint) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016" PRIx64 ".cell", fingerprint);
+    return (fs::path(dir_) / name).string();
+}
+
+bool
+ResultCache::load(uint64_t fingerprint, CellResult* out) const
+{
+    std::ifstream in(entryPath(fingerprint), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return deserializeCellPayload(text.str(), fingerprint, out);
+}
+
+void
+ResultCache::store(const CellResult& cell) const
+{
+    const std::string path = entryPath(cell.fingerprint);
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf) {
+            lmi_warn("result cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        outf << serializeCellPayload(cell);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        lmi_warn("result cache: cannot publish %s: %s", path.c_str(),
+                 ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace lmi

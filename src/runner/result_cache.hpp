@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-disk sweep result cache.
+ *
+ * One file per cell, named by the cell fingerprint (workload profile +
+ * mechanism + scale + GpuConfig + format version, see cellFingerprint),
+ * holding the serializeCellPayload() rendering. The simulator is
+ * deterministic, so a fingerprint hit IS the result: re-running a figure
+ * only simulates cells whose inputs changed. Invalidation is automatic —
+ * any input change moves the fingerprint, and stale files are simply
+ * never looked up again (delete the directory to reclaim space).
+ *
+ * Stores write a unique temp file and rename() it into place, so
+ * concurrent workers (or concurrent sweeps sharing a directory) never
+ * observe torn entries.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hpp"
+
+namespace lmi {
+
+class ResultCache
+{
+  public:
+    /** Open (creating if needed) the cache at @p dir. */
+    explicit ResultCache(std::string dir);
+
+    /** Load the entry for @p fingerprint; false on miss or a malformed/
+     *  mismatched entry (treated as a miss). */
+    bool load(uint64_t fingerprint, CellResult* out) const;
+
+    /** Persist @p cell under its fingerprint (best-effort: IO failure
+     *  degrades to an uncached run, it never fails the sweep). */
+    void store(const CellResult& cell) const;
+
+    const std::string& dir() const { return dir_; }
+
+  private:
+    std::string entryPath(uint64_t fingerprint) const;
+
+    std::string dir_;
+};
+
+} // namespace lmi

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "arch/mem_map.hpp"
+#include "common/hash.hpp"
 
 namespace lmi {
 
@@ -49,5 +50,36 @@ struct GpuConfig
     /** Per-thread stack top VA (driver writes it to c[0x0][0x28]). */
     uint64_t stack_top = kLocalBase + 256 * kKiB;
 };
+
+/**
+ * Fold every simulation-relevant GpuConfig field into @p h.
+ *
+ * The ExperimentRunner's result cache keys cells by this fingerprint, so
+ * any field added to GpuConfig MUST be added here too — a missed field
+ * makes stale cache entries satisfy runs under the changed config.
+ */
+inline Fnv1a&
+hashConfig(Fnv1a& h, const GpuConfig& c)
+{
+    h.u64(c.num_sms).f64(c.clock_ghz).u64(c.warp_size);
+    h.u64(c.schedulers_per_sm).u64(c.max_warps_per_sm);
+    h.u64(c.max_blocks_per_sm);
+    h.u64(c.int_latency).u64(c.fp_latency).u64(c.sfu_latency);
+    h.u64(c.malloc_latency).u64(c.barrier_latency);
+    h.u64(c.line_bytes).u64(c.l1_size).u64(c.l1_assoc).u64(c.l1_latency);
+    h.u64(c.l2_size).u64(c.l2_assoc).u64(c.l2_latency);
+    h.u64(c.dram_latency).f64(c.dram_bytes_per_cycle);
+    h.u64(c.shared_latency).u64(c.coalesce_serialize);
+    h.u64(c.stack_top);
+    return h;
+}
+
+/** Standalone fingerprint of one configuration. */
+inline uint64_t
+configHash(const GpuConfig& c)
+{
+    Fnv1a h;
+    return hashConfig(h, c).value();
+}
 
 } // namespace lmi

@@ -11,6 +11,11 @@ Device::Device(std::unique_ptr<ProtectionMechanism> mech)
 {
 }
 
+Device::Device(GpuConfig config, std::unique_ptr<ProtectionMechanism> mech)
+    : Device(std::move(mech), config)
+{
+}
+
 Device::Device(std::unique_ptr<ProtectionMechanism> mech, GpuConfig config)
     : config_(config), mech_(std::move(mech))
 {

@@ -39,6 +39,14 @@ class Device
     /** Device running under @p mech with the default Table IV config. */
     explicit Device(std::unique_ptr<ProtectionMechanism> mech);
     Device(std::unique_ptr<ProtectionMechanism> mech, GpuConfig config);
+    /**
+     * Config-first construction for sweep cells with per-cell overrides;
+     * a null @p mech means the unprotected baseline. This is the overload
+     * ExperimentRunner jobs use, so device construction needs no friend
+     * access and no copy-pasted init.
+     */
+    explicit Device(GpuConfig config,
+                    std::unique_ptr<ProtectionMechanism> mech = nullptr);
 
     // --- Host memory API ------------------------------------------------
     /** Allocate @p size bytes of global memory; 0 on exhaustion. */

@@ -10,6 +10,10 @@
  *   lmi_explore compare <workload> [scale]
  *       Run one workload under every hardware-comparison mechanism and
  *       print normalized execution times.
+ *   lmi_explore sweep [scale] [--workloads a,b] [--mechanisms m1,m2]
+ *                     [--csv FILE] [--json FILE]
+ *       Run a full (workload x mechanism) grid through the
+ *       ExperimentRunner and print/export the results.
  *   lmi_explore disasm <workload> <mechanism>
  *       Print the generated SASS-like code (hint bits visible).
  *   lmi_explore security <mechanism>
@@ -17,39 +21,55 @@
  *   lmi_explore trace <workload> <mechanism> [events]
  *       Capture an instruction trace (NVBit-style) and print the first
  *       N events plus the stream characterization.
+ *
+ * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
+ * sweep, security; 0 = all cores, default 1), `--cache DIR` points the
+ * on-disk result cache (also via LMI_CACHE_DIR; sweeps only re-simulate
+ * cells whose workload/mechanism/scale/config fingerprint changed).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/table.hpp"
-#include "sim/trace.hpp"
 #include "mechanisms/registry.hpp"
+#include "runner/experiment_runner.hpp"
 #include "security/violations.hpp"
+#include "sim/trace.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace lmi;
 
 namespace {
 
-const std::vector<MechanismKind> kAllMechanisms = {
-    MechanismKind::Baseline,    MechanismKind::Lmi,
-    MechanismKind::LmiLiveness, MechanismKind::GpuShield,
-    MechanismKind::BaggySw,     MechanismKind::Gmod,
-    MechanismKind::CuCatch,     MechanismKind::MemcheckDbi,
-    MechanismKind::LmiDbi};
-
-bool
-parseMechanism(const std::string& name, MechanismKind* out)
+/** Flags shared by the sweep-shaped subcommands. */
+struct GlobalOpts
 {
-    for (MechanismKind kind : kAllMechanisms) {
-        if (name == mechanismKindName(kind)) {
-            *out = kind;
-            return true;
-        }
+    unsigned jobs = 1; ///< serial by default; 0 = all cores
+    std::string cache_dir;
+    std::string csv_path;
+    std::string json_path;
+    std::string workloads_filter;  ///< comma-separated names
+    std::string mechanisms_filter; ///< comma-separated names
+};
+
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
     }
-    return false;
+    return out;
 }
 
 int
@@ -59,10 +79,13 @@ usage()
         "usage:\n"
         "  lmi_explore list\n"
         "  lmi_explore run <workload> <mechanism> [scale]\n"
-        "  lmi_explore compare <workload> [scale]\n"
+        "  lmi_explore compare <workload> [scale] [--jobs N]\n"
+        "  lmi_explore sweep [scale] [--jobs N] [--workloads a,b]\n"
+        "              [--mechanisms m1,m2] [--csv FILE] [--json FILE]\n"
         "  lmi_explore disasm <workload> <mechanism>\n"
-        "  lmi_explore security <mechanism>\n"
-        "  lmi_explore trace <workload> <mechanism> [events]\n");
+        "  lmi_explore security <mechanism> [--jobs N]\n"
+        "  lmi_explore trace <workload> <mechanism> [events]\n"
+        "global flags: --jobs N (0 = all cores), --cache DIR\n");
     return 2;
 }
 
@@ -85,7 +108,7 @@ cmdList()
                       traits.empty() ? "streaming" : traits});
     }
     std::printf("%s\nmechanisms:", table.render().c_str());
-    for (MechanismKind kind : kAllMechanisms)
+    for (MechanismKind kind : allMechanisms())
         std::printf(" %s", mechanismKindName(kind));
     std::printf("\n");
     return 0;
@@ -139,25 +162,100 @@ cmdRun(const std::string& workload, MechanismKind kind, double scale)
 }
 
 int
-cmdCompare(const std::string& workload, double scale)
+cmdCompare(const std::string& workload, double scale,
+           const GlobalOpts& opts)
 {
-    const WorkloadProfile& profile = findWorkload(workload);
-    uint64_t base = 0;
-    {
-        Device dev;
-        base = runWorkload(dev, profile, scale).result.cycles;
+    SweepSpec spec;
+    spec.workloads = {workload};
+    spec.mechanisms.push_back(MechanismKind::Baseline);
+    for (MechanismKind kind : hardwareComparisonMechanisms())
+        spec.mechanisms.push_back(kind);
+    spec.scales = {scale};
+    spec.jobs = opts.jobs;
+    spec.cache_dir = opts.cache_dir;
+    const SweepResult sweep = runSweep(spec);
+
+    const CellResult* base =
+        sweep.find(workload, MechanismKind::Baseline, scale);
+    if (!base || !base->ok) {
+        std::fprintf(stderr, "error: baseline run failed: %s\n",
+                     base ? base->error.c_str() : "missing cell");
+        return 1;
     }
     TextTable table({"mechanism", "cycles", "normalized"});
-    table.addRow({"baseline", std::to_string(base), "1.0000x"});
-    for (MechanismKind kind : hardwareComparisonMechanisms()) {
-        Device dev(makeMechanism(kind));
-        const uint64_t cycles =
-            runWorkload(dev, profile, scale).result.cycles;
-        table.addRow({mechanismKindName(kind), std::to_string(cycles),
-                      fmtF(double(cycles) / double(base), 4) + "x"});
+    for (const CellResult& cell : sweep.cells) {
+        if (!cell.ok) {
+            table.addRow({mechanismKindName(cell.mechanism),
+                          "error: " + cell.error, "-"});
+            continue;
+        }
+        table.addRow({mechanismKindName(cell.mechanism),
+                      std::to_string(cell.result.cycles),
+                      fmtF(double(cell.result.cycles) /
+                               double(base->result.cycles), 4) + "x"});
     }
     std::printf("%s", table.render().c_str());
     return 0;
+}
+
+int
+cmdSweep(double scale, const GlobalOpts& opts)
+{
+    SweepSpec spec;
+    if (!opts.workloads_filter.empty()) {
+        spec.workloads = splitCommas(opts.workloads_filter);
+    } else {
+        for (const auto& profile : workloadSuite())
+            spec.workloads.push_back(profile.name);
+    }
+    if (!opts.mechanisms_filter.empty()) {
+        for (const std::string& name : splitCommas(opts.mechanisms_filter)) {
+            MechanismKind kind;
+            if (!mechanismFromName(name, &kind)) {
+                std::fprintf(stderr, "error: unknown mechanism %s\n",
+                             name.c_str());
+                return 2;
+            }
+            spec.mechanisms.push_back(kind);
+        }
+    } else {
+        spec.mechanisms.push_back(MechanismKind::Baseline);
+        for (MechanismKind kind : hardwareComparisonMechanisms())
+            spec.mechanisms.push_back(kind);
+    }
+    spec.scales = {scale};
+    spec.jobs = opts.jobs;
+    spec.cache_dir = opts.cache_dir;
+    spec.progress = true;
+
+    const SweepResult sweep = runSweep(spec);
+
+    TextTable table({"workload", "mechanism", "cycles", "faults",
+                     "status"});
+    for (const CellResult& cell : sweep.cells) {
+        table.addRow({cell.workload, mechanismKindName(cell.mechanism),
+                      std::to_string(cell.result.cycles),
+                      std::to_string(cell.result.faults.size()),
+                      cell.ok ? (cell.from_cache ? "cached" : "ok")
+                              : "error: " + cell.error});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu cells, %.1f s wall, %zu cached, %zu failed, "
+                "%zu over timeout\n",
+                sweep.cells.size(), sweep.wall_ms / 1000.0,
+                sweep.cache_hits, sweep.failures, sweep.timeouts);
+
+    if (!opts.csv_path.empty()) {
+        std::ofstream out(opts.csv_path, std::ios::trunc);
+        out << sweep.renderCsv();
+        std::printf("wrote %s\n", opts.csv_path.c_str());
+    }
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << sweep.renderJson();
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return sweep.failures ? 1 : 0;
 }
 
 int
@@ -172,18 +270,39 @@ cmdDisasm(const std::string& workload, MechanismKind kind)
 }
 
 int
-cmdSecurity(MechanismKind kind)
+cmdSecurity(MechanismKind kind, const GlobalOpts& opts)
 {
-    unsigned detected = 0;
-    for (const ViolationCase& vcase : violationSuite()) {
-        Device dev(makeMechanism(kind));
-        const CaseOutcome outcome = vcase.run(dev);
-        detected += outcome.detected();
-        std::printf("%-42s %s%s\n", vcase.id.c_str(),
-                    outcome.detected() ? "DETECTED" : "missed",
-                    outcome.compile_rejected ? " (compile-time)" : "");
+    // Each case is one independent job on the ExperimentRunner pool:
+    // a fresh Device per case, outcomes reported in suite order.
+    const std::vector<ViolationCase>& suite = violationSuite();
+    std::vector<CaseOutcome> outcomes(suite.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(suite.size());
+    for (size_t i = 0; i < suite.size(); ++i) {
+        jobs.push_back([&suite, &outcomes, kind, i] {
+            Device dev(makeMechanism(kind));
+            outcomes[i] = suite[i].run(dev);
+        });
     }
-    std::printf("total: %u/%zu\n", detected, violationSuite().size());
+    ExperimentRunner::Options ropts;
+    ropts.jobs = opts.jobs;
+    ropts.label = "security";
+    ExperimentRunner runner(ropts);
+    const auto job_outcomes = runner.run(jobs);
+
+    unsigned detected = 0;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (!job_outcomes[i].ok) {
+            std::printf("%-42s ERROR: %s\n", suite[i].id.c_str(),
+                        job_outcomes[i].error.c_str());
+            continue;
+        }
+        detected += outcomes[i].detected();
+        std::printf("%-42s %s%s\n", suite[i].id.c_str(),
+                    outcomes[i].detected() ? "DETECTED" : "missed",
+                    outcomes[i].compile_rejected ? " (compile-time)" : "");
+    }
+    std::printf("total: %u/%zu\n", detected, suite.size());
     return 0;
 }
 
@@ -217,39 +336,76 @@ int
 main(int argc, char** argv)
 {
     setVerbose(false);
-    if (argc < 2)
+
+    // Strip global flags; what remains are the positional arguments.
+    GlobalOpts opts;
+    if (const char* dir = std::getenv("LMI_CACHE_DIR"))
+        opts.cache_dir = dir;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto flagValue = [&](const char* flag, std::string* out) {
+            if (arg != flag || i + 1 >= argc)
+                return false;
+            *out = argv[++i];
+            return true;
+        };
+        std::string value;
+        if (flagValue("--jobs", &value))
+            opts.jobs = unsigned(std::atoi(value.c_str()));
+        else if (flagValue("--cache", &opts.cache_dir) ||
+                 flagValue("--csv", &opts.csv_path) ||
+                 flagValue("--json", &opts.json_path) ||
+                 flagValue("--workloads", &opts.workloads_filter) ||
+                 flagValue("--mechanisms", &opts.mechanisms_filter))
+            ;
+        else
+            args.push_back(arg);
+    }
+
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
+    const std::string cmd = args[0];
     try {
         if (cmd == "list")
             return cmdList();
-        if (cmd == "run" && argc >= 4) {
+        if (cmd == "run" && args.size() >= 3) {
             MechanismKind kind;
-            if (!parseMechanism(argv[3], &kind))
+            if (!mechanismFromName(args[2], &kind))
                 return usage();
-            return cmdRun(argv[2], kind,
-                          argc > 4 ? std::atof(argv[4]) : 0.5);
+            return cmdRun(args[1], kind,
+                          args.size() > 3 ? std::atof(args[3].c_str())
+                                          : 0.5);
         }
-        if (cmd == "compare" && argc >= 3)
-            return cmdCompare(argv[2], argc > 3 ? std::atof(argv[3]) : 0.5);
-        if (cmd == "disasm" && argc >= 4) {
+        if (cmd == "compare" && args.size() >= 2)
+            return cmdCompare(args[1],
+                              args.size() > 2 ? std::atof(args[2].c_str())
+                                              : 0.5,
+                              opts);
+        if (cmd == "sweep")
+            return cmdSweep(args.size() > 1 ? std::atof(args[1].c_str())
+                                            : 0.5,
+                            opts);
+        if (cmd == "disasm" && args.size() >= 3) {
             MechanismKind kind;
-            if (!parseMechanism(argv[3], &kind))
+            if (!mechanismFromName(args[2], &kind))
                 return usage();
-            return cmdDisasm(argv[2], kind);
+            return cmdDisasm(args[1], kind);
         }
-        if (cmd == "trace" && argc >= 4) {
+        if (cmd == "trace" && args.size() >= 3) {
             MechanismKind kind;
-            if (!parseMechanism(argv[3], &kind))
+            if (!mechanismFromName(args[2], &kind))
                 return usage();
-            return cmdTrace(argv[2], kind,
-                            argc > 4 ? size_t(std::atoll(argv[4])) : 20);
+            return cmdTrace(args[1], kind,
+                            args.size() > 3
+                                ? size_t(std::atoll(args[3].c_str()))
+                                : 20);
         }
-        if (cmd == "security" && argc >= 3) {
+        if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
-            if (!parseMechanism(argv[2], &kind))
+            if (!mechanismFromName(args[1], &kind))
                 return usage();
-            return cmdSecurity(kind);
+            return cmdSecurity(kind, opts);
         }
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
