@@ -1,0 +1,51 @@
+#include "analysis/analysis.hpp"
+
+namespace lmi::analysis {
+
+const char*
+analysisLevelName(AnalysisLevel level)
+{
+    switch (level) {
+      case AnalysisLevel::Off:    return "off";
+      case AnalysisLevel::Verify: return "verify";
+      case AnalysisLevel::Full:   return "full";
+    }
+    return "?";
+}
+
+AnalysisReport
+analyzeFunction(const ir::IrFunction& f, const AnalysisOptions& opts)
+{
+    AnalysisReport report;
+    if (opts.level == AnalysisLevel::Off)
+        return report;
+
+    VerifyOptions vopts;
+    vopts.lmi_invariants = opts.lmi_invariants;
+    report.diagnostics = verifyFunction(f, vopts);
+    if (report.errors() || opts.level != AnalysisLevel::Full)
+        return report; // later passes assume structurally valid IR
+
+    RangeAnalysisOptions ropts;
+    ropts.codec = opts.codec;
+    ropts.subobject = opts.subobject;
+    RangeAnalysis ranges = analyzeRanges(f, ropts);
+    report.safety = std::move(ranges.safety);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              ranges.diagnostics.begin(),
+                              ranges.diagnostics.end());
+    for (const auto& [v, c] : report.safety) {
+        report.proven_safe += c == SafetyClass::ProvenSafe;
+        report.proven_violating += c == SafetyClass::ProvenViolating;
+        report.unknown += c == SafetyClass::Unknown;
+    }
+
+    LintOptions lopts;
+    lopts.codec = opts.codec;
+    auto lint = lintFunction(f, lopts);
+    report.diagnostics.insert(report.diagnostics.end(), lint.begin(),
+                              lint.end());
+    return report;
+}
+
+} // namespace lmi::analysis

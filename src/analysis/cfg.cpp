@@ -1,0 +1,132 @@
+#include "analysis/cfg.hpp"
+
+namespace lmi::analysis {
+
+using namespace ir;
+
+namespace {
+
+void
+postorder(const Cfg& cfg, BlockId b, std::vector<bool>& seen,
+          std::vector<BlockId>& out)
+{
+    // Iterative DFS; kernels are small but the verifier must not rely
+    // on well-formedness (e.g. self-loops, deep chains).
+    struct Frame
+    {
+        BlockId block;
+        size_t next_succ;
+    };
+    std::vector<Frame> stack{{b, 0}};
+    seen[b] = true;
+    while (!stack.empty()) {
+        Frame& top = stack.back();
+        if (top.next_succ < cfg.succs[top.block].size()) {
+            const BlockId s = cfg.succs[top.block][top.next_succ++];
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back({s, 0});
+            }
+        } else {
+            out.push_back(top.block);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const IrFunction& f)
+{
+    Cfg cfg;
+    const size_t n = f.blocks.size();
+    cfg.preds.resize(n);
+    cfg.succs.resize(n);
+    cfg.rpo_index.assign(n, -1);
+    cfg.idom.assign(n, -1);
+    if (n == 0)
+        return cfg;
+
+    auto add_edge = [&](BlockId from, BlockId to) {
+        if (to >= n)
+            return; // malformed target: verifier reports it separately
+        cfg.succs[from].push_back(to);
+        cfg.preds[to].push_back(from);
+    };
+    for (BlockId b = 0; b < n; ++b) {
+        if (f.blocks[b].insts.empty())
+            continue;
+        const ValueId last = f.blocks[b].insts.back();
+        if (last == kNoValue || last >= f.values.size())
+            continue;
+        const IrInst& in = f.inst(last);
+        if (in.op == IrOp::Br) {
+            add_edge(b, in.tbb);
+            if (in.fbb != in.tbb)
+                add_edge(b, in.fbb);
+        } else if (in.op == IrOp::Jump) {
+            add_edge(b, in.tbb);
+        }
+    }
+
+    std::vector<bool> seen(n, false);
+    std::vector<BlockId> po;
+    postorder(cfg, 0, seen, po);
+    cfg.rpo.assign(po.rbegin(), po.rend());
+    for (size_t i = 0; i < cfg.rpo.size(); ++i)
+        cfg.rpo_index[cfg.rpo[i]] = int(i);
+
+    // Cooper–Harvey–Kennedy iterative dominators over RPO.
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (cfg.rpo_index[a] > cfg.rpo_index[b])
+                a = cfg.idom[a];
+            while (cfg.rpo_index[b] > cfg.rpo_index[a])
+                b = cfg.idom[b];
+        }
+        return a;
+    };
+    cfg.idom[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : cfg.rpo) {
+            if (b == 0)
+                continue;
+            int new_idom = -1;
+            for (BlockId p : cfg.preds[b]) {
+                if (!cfg.reachable(p) || cfg.idom[p] < 0)
+                    continue;
+                new_idom = new_idom < 0 ? int(p)
+                                        : intersect(new_idom, int(p));
+            }
+            if (new_idom >= 0 && cfg.idom[b] != new_idom) {
+                cfg.idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    cfg.idom[0] = -1;
+    return cfg;
+}
+
+bool
+Cfg::dominates(BlockId a, BlockId b) const
+{
+    if (a >= preds.size() || b >= preds.size())
+        return false;
+    if (!reachable(b))
+        return true;
+    if (!reachable(a))
+        return false;
+    while (true) {
+        if (a == b)
+            return true;
+        if (idom[b] < 0)
+            return false;
+        b = BlockId(idom[b]);
+    }
+}
+
+} // namespace lmi::analysis

@@ -1,0 +1,84 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace lmi::analysis {
+
+const char*
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream s;
+    s << severityName(severity) << ": [" << pass << "] " << function;
+    if (value != ir::kNoValue)
+        s << " %" << value;
+    s << ": " << message;
+    return s.str();
+}
+
+std::string
+jsonEscape(const std::string& str)
+{
+    std::string out;
+    out.reserve(str.size());
+    for (char c : str) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+Diagnostic::toJson() const
+{
+    std::ostringstream s;
+    s << "{\"severity\":\"" << severityName(severity) << "\",\"pass\":\""
+      << jsonEscape(pass) << "\",\"function\":\"" << jsonEscape(function)
+      << "\",\"value\":" << value << ",\"message\":\""
+      << jsonEscape(message) << "\"}";
+    return s.str();
+}
+
+size_t
+errorCount(const std::vector<Diagnostic>& diags)
+{
+    size_t n = 0;
+    for (const auto& d : diags)
+        n += d.severity == Severity::Error;
+    return n;
+}
+
+std::string
+renderDiagnosticsJson(const std::vector<Diagnostic>& diags)
+{
+    std::ostringstream s;
+    s << "[";
+    for (size_t i = 0; i < diags.size(); ++i)
+        s << (i ? "," : "") << "\n  " << diags[i].toJson();
+    s << (diags.empty() ? "]" : "\n]");
+    return s.str();
+}
+
+} // namespace lmi::analysis

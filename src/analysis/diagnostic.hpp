@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structured diagnostics for the static-analysis pipeline.
+ *
+ * Every pass (IR verifier, range analysis, lint, and the LMI pointer
+ * pass) reports findings as Diagnostic records instead of bare strings,
+ * so tools can render them as text or JSON, CI can count severities,
+ * and CompileError can carry the full list to the caller.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace lmi::analysis {
+
+/** Diagnostic severity, ordered by increasing gravity. */
+enum class Severity : uint8_t { Note, Warning, Error };
+
+const char* severityName(Severity severity);
+
+/** One finding of one pass over one function. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Which pass produced the finding ("verify", "range", "lint", "lmi"). */
+    std::string pass;
+    /** Function the finding is in. */
+    std::string function;
+    /** Value id the finding anchors to (kNoValue for function-level). */
+    ir::ValueId value = ir::kNoValue;
+    std::string message;
+
+    /** "error: [verify] kernel %12: message" */
+    std::string toString() const;
+    /** One JSON object (no trailing newline). */
+    std::string toJson() const;
+};
+
+/** Number of error-severity diagnostics in @p diags. */
+size_t errorCount(const std::vector<Diagnostic>& diags);
+
+/** Render a diagnostic list as a JSON array. */
+std::string renderDiagnosticsJson(const std::vector<Diagnostic>& diags);
+
+/** Escape a string for embedding in a JSON literal (no quotes added). */
+std::string jsonEscape(const std::string& s);
+
+} // namespace lmi::analysis

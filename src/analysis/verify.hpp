@@ -1,0 +1,54 @@
+/**
+ * @file
+ * IR verifier pass (diagnostic-collecting successor of ir::verify).
+ *
+ * Where the legacy structural verifier throws on the first problem,
+ * this pass accumulates *all* findings as structured diagnostics and
+ * additionally checks properties the legacy verifier does not:
+ *
+ *  - SSA dominance: every use is dominated by its definition (phi uses
+ *    are checked at the incoming edge's terminator);
+ *  - phi/CFG consistency: phis lead their block, their incoming-block
+ *    lists exactly match the block's CFG predecessors, and the entry
+ *    block has no phis;
+ *  - full type/arity rules: float operands cannot feed integer
+ *    arithmetic, pointer operands cannot feed non-additive arithmetic,
+ *    comparison results are only consumed by branches (the backend has
+ *    no predicate-to-register materialization), branch guards are
+ *    comparisons, and result types match operand types;
+ *  - optionally, the LMI pointer invariants of paper §XII-B / §VI-A
+ *    (inttoptr/ptrtoint, pointer stores and loads), reported with the
+ *    same classification the compiler's pointer pass applies.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "ir/ir.hpp"
+
+namespace lmi::analysis {
+
+struct VerifyOptions
+{
+    /**
+     * Also report the LMI-mode pointer restrictions (casts, pointer
+     * stores/loads) as errors. Off by default: baseline compilation
+     * legitimately permits them.
+     */
+    bool lmi_invariants = false;
+};
+
+/** Verify one function; returns every finding (empty = clean). */
+std::vector<Diagnostic> verifyFunction(const ir::IrFunction& f,
+                                       const VerifyOptions& opts = {});
+
+/**
+ * Verify a whole module: every function, plus cross-function rules
+ * (call targets resolve, argument counts/types match the callee).
+ */
+std::vector<Diagnostic> verifyModule(const ir::IrModule& m,
+                                     const VerifyOptions& opts = {});
+
+} // namespace lmi::analysis

@@ -69,6 +69,8 @@ packMicrocode(const Instruction& inst)
     mc.lo = insertBits(mc.lo, 20, 12, uint64_t(inst.dst + 1));
     mc.lo = insertBits(mc.lo, 24, 21, uint64_t(inst.guard_pred + 1));
     mc.lo = insertBits(mc.lo, 25, 25, inst.guard_neg ? 1 : 0);
+    mc.lo = insertBits(mc.lo, kHintBitE, kHintBitE,
+                       inst.hints.elide_check ? 1 : 0);
     mc.lo = insertBits(mc.lo, kHintBitS, kHintBitS,
                        inst.hints.pointer_operand & 1);
     mc.lo = insertBits(mc.lo, kHintBitA, kHintBitA, inst.hints.active ? 1 : 0);
@@ -112,6 +114,7 @@ unpackMicrocode(const Microcode& mc)
     inst.guard_neg = bitsOf(mc.lo, 25, 25) != 0;
     inst.hints.pointer_operand = unsigned(bitsOf(mc.lo, kHintBitS, kHintBitS));
     inst.hints.active = bitsOf(mc.lo, kHintBitA, kHintBitA) != 0;
+    inst.hints.elide_check = bitsOf(mc.lo, kHintBitE, kHintBitE) != 0;
     inst.cmp = CmpOp(bitsOf(mc.lo, 31, 29));
     inst.width = uint8_t(bitsOf(mc.lo, 35, 32));
 
@@ -161,7 +164,8 @@ microcodeToString(const Microcode& mc)
     s << "\n[63:0]   ";
     emit_word(mc.lo, 63, 0);
     s << "\n          A=" << mc.activationBit() << " (bit " << kHintBitA
-      << "), S=" << mc.selectionBit() << " (bit " << kHintBitS << ")";
+      << "), S=" << mc.selectionBit() << " (bit " << kHintBitS
+      << "), E=" << mc.elisionBit() << " (bit " << kHintBitE << ")";
     return s.str();
 }
 

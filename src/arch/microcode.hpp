@@ -8,7 +8,10 @@
  *
  *   bit [28] — Activation (A): this instruction manipulates a pointer and
  *              the OCU must check it;
- *   bit [27] — Selection (S): which source operand holds the pointer.
+ *   bit [27] — Selection (S): which source operand holds the pointer;
+ *   bit [26] — Elision (E): the compiler proved the operation in-bounds,
+ *              so the OCU skips (power-gates) the dynamic check. The
+ *              static-analysis extension claims a third reserved bit.
  *
  * This codec packs the in-memory Instruction representation into a
  * concrete 128-bit layout that honors those bit positions exactly, so the
@@ -21,7 +24,7 @@
  *   [20:12]  dst register + 1 (0 = no destination)
  *   [24:21]  guard predicate + 1 (0 = always execute)
  *   [25]     guard negate
- *   [26]     reserved (always 0)
+ *   [26]     E hint  <- static-analysis extension
  *   [27]     S hint  <- paper Fig. 9
  *   [28]     A hint  <- paper Fig. 9
  *   [31:29]  ISETP comparison op
@@ -57,6 +60,8 @@ namespace lmi {
 inline constexpr unsigned kHintBitA = 28;
 /** Bit position of the Selection hint (paper Fig. 9). */
 inline constexpr unsigned kHintBitS = 27;
+/** Bit position of the Elision hint (static-analysis extension). */
+inline constexpr unsigned kHintBitE = 26;
 
 /** A packed 128-bit instruction word. */
 struct Microcode
@@ -70,6 +75,8 @@ struct Microcode
     bool activationBit() const { return (lo >> kHintBitA) & 1; }
     /** Raw Selection bit. */
     bool selectionBit() const { return (lo >> kHintBitS) & 1; }
+    /** Raw Elision bit. */
+    bool elisionBit() const { return (lo >> kHintBitE) & 1; }
 };
 
 /**

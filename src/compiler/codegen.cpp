@@ -556,6 +556,7 @@ Codegen::hintsFor(ValueId v, bool imad)
     // S selects the pointer-carrying SASS operand: 0 = src0, 1 = the
     // trailing operand (src2 for IMAD, src1 otherwise).
     h.pointer_operand = imad ? 1 : (it->second.ptr_operand == 0 ? 0 : 1);
+    h.elide_check = it->second.elide;
     return h;
 }
 
@@ -572,10 +573,15 @@ Codegen::emitPhiMoves(BlockId pred, BlockId succ)
             Instruction mov = make(Opcode::MOV, int(regOf(v)),
                                    Operand::reg(regOf(in.ops[i])));
             // Pointer-valued phi moves are verified like IMOV (§IV-A2).
-            if (in.type.isPtr() && (opts_.lmi || opts_.sw_baggy))
-                mov.hints = {true, 0};
+            if (in.type.isPtr() && (opts_.lmi || opts_.sw_baggy)) {
+                auto it = pa_.pointer_ops.find(v);
+                mov.hints = {true, 0,
+                             it != pa_.pointer_ops.end() &&
+                                 it->second.elide};
+            }
             emit(mov);
-            if (opts_.sw_baggy && mov.hints.active)
+            if (opts_.sw_baggy && mov.hints.active &&
+                !mov.hints.elide_check)
                 emitSwCheck(regOf(in.ops[i]), regOf(v));
         }
     }
@@ -644,7 +650,8 @@ Codegen::lowerInst(ValueId v)
                                 Operand::reg(regOf(in.ops[0])));
         imad.hints = hintsFor(v, /*imad=*/true);
         emit(imad);
-        if (opts_.sw_baggy && imad.hints.active)
+        if (opts_.sw_baggy && imad.hints.active &&
+            !imad.hints.elide_check)
             emitSwCheck(regOf(in.ops[0]), regOf(v));
         break;
       }
@@ -655,7 +662,7 @@ Codegen::lowerInst(ValueId v)
                                Operand::imm(uint64_t(in.imm)));
         add.hints = hintsFor(v, false);
         emit(add);
-        if (opts_.sw_baggy && add.hints.active)
+        if (opts_.sw_baggy && add.hints.active && !add.hints.elide_check)
             emitSwCheck(regOf(in.ops[0]), regOf(v));
         if (opts_.lmi && opts_.subobject) {
             const unsigned sub = subExtentForSize(in.aux);
@@ -684,7 +691,7 @@ Codegen::lowerInst(ValueId v)
                                Operand::reg(regOf(in.ops[1])));
         add.hints = hintsFor(v, false);
         emit(add);
-        if (opts_.sw_baggy && add.hints.active)
+        if (opts_.sw_baggy && add.hints.active && !add.hints.elide_check)
             emitSwCheck(regOf(in.ops[0]), regOf(v));
         break;
       }
@@ -725,7 +732,7 @@ Codegen::lowerInst(ValueId v)
                              Operand::reg(regOf(in.ops[1])));
         a.hints = hintsFor(v, false);
         emit(a);
-        if (opts_.sw_baggy && a.hints.active) {
+        if (opts_.sw_baggy && a.hints.active && !a.hints.elide_check) {
             const unsigned ptr_in =
                 regOf(in.ops[pa_.pointer_ops.at(v).ptr_operand]);
             emitSwCheck(ptr_in, regOf(v));
@@ -772,6 +779,12 @@ Codegen::lowerInst(ValueId v)
         break;
       case IrOp::FRcp:
         emit(make(Opcode::MUFU, int(regOf(v)),
+                  Operand::reg(regOf(in.ops[0]))));
+        break;
+
+      case IrOp::FBits:
+        // Registers are untyped 64-bit; the reinterpret is a plain MOV.
+        emit(make(Opcode::MOV, int(regOf(v)),
                   Operand::reg(regOf(in.ops[0]))));
         break;
 
@@ -981,17 +994,51 @@ compileKernel(const IrModule& m, const std::string& kernel_name,
     IrFunction flat = inlineCalls(m, *kernel);
     verify(flat);
 
+    // --- Static analysis pipeline (verifier, ranges, lints). --------
+    analysis::AnalysisOptions aopts;
+    aopts.level = opts.analysis_level;
+#ifndef NDEBUG
+    // Debug builds always verify the flattened kernel, catching IR
+    // malformations even for configurations that compile with the
+    // pipeline off.
+    if (aopts.level == analysis::AnalysisLevel::Off)
+        aopts.level = analysis::AnalysisLevel::Verify;
+#endif
+    aopts.subobject = opts.subobject;
+    aopts.codec = opts.codec;
+    analysis::AnalysisReport report = analysis::analyzeFunction(flat, aopts);
+    if (report.errors() > 0) {
+        std::vector<analysis::Diagnostic> errs;
+        for (const auto& d : report.diagnostics)
+            if (d.severity == analysis::Severity::Error)
+                errs.push_back(d);
+        std::string what = "static analysis rejected kernel '" +
+                           kernel_name + "': " + errs.front().message;
+        throw CompileError(std::move(what), std::move(errs));
+    }
+
     const bool restrict_casts =
         (opts.lmi || opts.sw_baggy) && opts.restrict_casts;
     PointerAnalysis pa = analyzePointers(flat, restrict_casts);
     if (restrict_casts && !pa.ok()) {
         std::string what = "LMI pass rejected kernel '" + kernel_name +
-                           "': " + pa.violations.front();
+                           "': " + pa.violations.front().message;
         throw CompileError(std::move(what), pa.violations);
     }
 
+    // Propagate proven-safe classifications into the hint metadata: the
+    // backend sets the E bit and the OCU power-gates those checks.
+    if (aopts.level == analysis::AnalysisLevel::Full)
+        for (auto& [v, info] : pa.pointer_ops)
+            if (auto it = report.safety.find(v);
+                it != report.safety.end() &&
+                it->second == analysis::SafetyClass::ProvenSafe)
+                info.elide = true;
+
     Codegen cg(flat, pa, opts);
-    return cg.run();
+    CompiledKernel out = cg.run();
+    out.report = std::move(report);
+    return out;
 }
 
 } // namespace lmi

@@ -39,6 +39,7 @@
 #include <string>
 
 #include "alloc/layout.hpp"
+#include "analysis/analysis.hpp"
 #include "arch/isa.hpp"
 #include "common/logging.hpp"
 #include "compiler/pointer_analysis.hpp"
@@ -84,6 +85,15 @@ struct CodegenOptions
      * extent; free()/scope-exit clears the tag.
      */
     bool buffer_id_tags = false;
+    /**
+     * Static-analysis pipeline depth run over the flattened kernel
+     * before lowering. `Verify` catches malformed IR; `Full` adds the
+     * range analysis, which turns provably violating pointer arithmetic
+     * into compile errors and marks provably safe operations with the E
+     * hint bit so the OCU elides their dynamic checks. Debug builds
+     * always run at least `Verify`.
+     */
+    analysis::AnalysisLevel analysis_level = analysis::AnalysisLevel::Off;
     PointerCodec codec{};
 };
 
@@ -106,19 +116,23 @@ constexpr uint64_t withTag(uint64_t ptr, uint64_t tag)
     return untag(ptr) | (tag << kTagShift);
 }
 
-/** Thrown when the LMI pass rejects a kernel at compile time. */
+/** Thrown when a compile-time pass rejects a kernel. */
 class CompileError : public FatalError
 {
   public:
-    CompileError(std::string what, std::vector<std::string> violations)
+    CompileError(std::string what,
+                 std::vector<analysis::Diagnostic> violations)
         : FatalError(std::move(what)), violations_(std::move(violations))
     {
     }
 
-    const std::vector<std::string>& violations() const { return violations_; }
+    const std::vector<analysis::Diagnostic>& violations() const
+    {
+        return violations_;
+    }
 
   private:
-    std::vector<std::string> violations_;
+    std::vector<analysis::Diagnostic> violations_;
 };
 
 /**
@@ -136,6 +150,9 @@ struct CompiledKernel
     ir::IrFunction flat_ir;
     /** The pointer analysis used for hint bits. */
     PointerAnalysis analysis;
+    /** Static-analysis report (empty when analysis_level == Off and the
+     *  build defines NDEBUG). */
+    analysis::AnalysisReport report;
     /** Stack-frame layout (offsets relative to the frame base). */
     RegionLayout frame;
     /** Shared-memory layout. */

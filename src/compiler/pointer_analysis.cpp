@@ -11,6 +11,11 @@ analyzePointers(const IrFunction& f, bool restrict_casts)
 {
     PointerAnalysis result;
 
+    auto reject = [&](ValueId v, std::string msg) {
+        result.violations.push_back({analysis::Severity::Error, "lmi",
+                                     f.name, v, std::move(msg)});
+    };
+
     // Pass 1: pointer-typedness. Types are explicit in this IR, so one
     // sweep suffices (LLVM's getType()->isPointerTy() walk in Fig. 8).
     for (ValueId v = 1; v < f.values.size(); ++v)
@@ -47,35 +52,31 @@ analyzePointers(const IrFunction& f, bool restrict_casts)
 
           case IrOp::IntToPtr:
             if (restrict_casts)
-                result.violations.push_back(
-                    f.name + ": inttoptr of %" + std::to_string(in.ops[0]) +
-                    " (immediate-value pointer assignment is rejected, "
-                    "paper XII-B)");
+                reject(v, "inttoptr of %" + std::to_string(in.ops[0]) +
+                              " (immediate-value pointer assignment is "
+                              "rejected, paper XII-B)");
             break;
 
           case IrOp::PtrToInt:
             if (restrict_casts)
-                result.violations.push_back(
-                    f.name + ": ptrtoint of %" + std::to_string(in.ops[0]) +
-                    " (pointer laundering through integers is rejected, "
-                    "paper XII-B)");
+                reject(v, "ptrtoint of %" + std::to_string(in.ops[0]) +
+                              " (pointer laundering through integers is "
+                              "rejected, paper XII-B)");
             break;
 
           case IrOp::Store:
             // LMI restricts storing pointers to memory (paper VI-A).
             if (result.is_pointer[in.ops[1]])
-                result.violations.push_back(
-                    f.name + ": store of pointer %" +
-                    std::to_string(in.ops[1]) +
-                    " to memory (unsupported; pointer would escape OCU "
-                    "tracking)");
+                reject(v, "store of pointer %" + std::to_string(in.ops[1]) +
+                              " to memory (unsupported; pointer would "
+                              "escape OCU tracking)");
             break;
 
           case IrOp::Load:
             if (in.type.isPtr())
-                result.violations.push_back(
-                    f.name + ": load of pointer-typed value %" +
-                    std::to_string(v) + " from memory (unsupported)");
+                reject(v, "load of pointer-typed value %" +
+                              std::to_string(v) + " from memory "
+                              "(unsupported)");
             break;
 
           default:

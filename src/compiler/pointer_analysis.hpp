@@ -22,15 +22,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace lmi {
 
-/** Per-instruction pointer metadata (becomes the A/S hint bits). */
+/** Per-instruction pointer metadata (becomes the A/S/E hint bits). */
 struct PointerOpInfo
 {
     /** Index of the pointer-carrying operand in the IR instruction. */
     unsigned ptr_operand = 0;
+    /**
+     * The range analysis proved this check redundant; the backend sets
+     * the E hint bit so the OCU power-gates the dynamic check.
+     */
+    bool elide = false;
 };
 
 /** Result of the analysis over one function. */
@@ -40,8 +46,8 @@ struct PointerAnalysis
     std::unordered_map<ir::ValueId, PointerOpInfo> pointer_ops;
     /** Values with pointer type (includes phis and params). */
     std::unordered_map<ir::ValueId, bool> is_pointer;
-    /** Human-readable compile-time violations (casts, pointer stores). */
-    std::vector<std::string> violations;
+    /** Compile-time violations (casts, pointer stores), error severity. */
+    std::vector<analysis::Diagnostic> violations;
 
     bool ok() const { return violations.empty(); }
 };

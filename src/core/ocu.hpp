@@ -31,6 +31,13 @@ struct OcuHints
     bool active = false;
     /** Bit [27]: which source operand holds the pointer (0 or 1). */
     unsigned pointer_operand = 0;
+    /**
+     * Bit [26]: the compiler's range analysis proved this operation
+     * in-bounds (result bit-identical with or without the check), so
+     * the OCU may power-gate the dynamic check. Only meaningful when
+     * `active` is set; the operand metadata stays valid either way.
+     */
+    bool elide_check = false;
 };
 
 /** Outcome of one OCU check. */

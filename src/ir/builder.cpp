@@ -215,6 +215,16 @@ IrBuilder::frcp(ValueId a)
 }
 
 ValueId
+IrBuilder::fbits(ValueId a)
+{
+    IrInst in;
+    in.op = IrOp::FBits;
+    in.type = Type::i64();
+    in.ops = {a};
+    return emit(in);
+}
+
+ValueId
 IrBuilder::icmp(CmpOp cmp, ValueId a, ValueId b)
 {
     IrInst in = binop(IrOp::ICmp, Type::i32(), a, b);

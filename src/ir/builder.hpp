@@ -76,6 +76,8 @@ class IrBuilder
     ValueId fmul(ValueId a, ValueId b);
     ValueId ffma(ValueId a, ValueId b, ValueId c);
     ValueId frcp(ValueId a);
+    /** Reinterpret the float register bit pattern of @p a as i64. */
+    ValueId fbits(ValueId a);
     ValueId icmp(CmpOp cmp, ValueId a, ValueId b);
 
     // --- Control -------------------------------------------------------

@@ -68,6 +68,7 @@ irOpName(IrOp op)
       case IrOp::FMul:       return "fmul";
       case IrOp::FFma:       return "ffma";
       case IrOp::FRcp:       return "frcp";
+      case IrOp::FBits:      return "fbits";
       case IrOp::ICmp:       return "icmp";
       case IrOp::Br:         return "br";
       case IrOp::Jump:       return "jump";

@@ -80,6 +80,9 @@ enum class IrOp : uint8_t {
     IAdd, ISub, IMul, IMin, IShl, IShr, IAnd, IOr, IXor,
     // Float arithmetic
     FAdd, FMul, FFma, FRcp,
+    // Reinterpret a float register's bit pattern as an integer (a
+    // register-level no-op; keeps float->integer folds type-correct)
+    FBits,
     // Comparison / control
     ICmp,      ///< cmp(ops[0], ops[1])
     Br,        ///< conditional: ops[0], then tbb/fbb

@@ -174,7 +174,8 @@ opTable()
         {"iand", IrOp::IAnd},        {"ior", IrOp::IOr},
         {"ixor", IrOp::IXor},        {"fadd", IrOp::FAdd},
         {"fmul", IrOp::FMul},        {"ffma", IrOp::FFma},
-        {"frcp", IrOp::FRcp},        {"icmp", IrOp::ICmp},
+        {"frcp", IrOp::FRcp},        {"fbits", IrOp::FBits},
+        {"icmp", IrOp::ICmp},
         {"br", IrOp::Br},            {"jump", IrOp::Jump},
         {"ret", IrOp::Ret},          {"phi", IrOp::Phi},
         {"barrier", IrOp::Barrier},  {"malloc", IrOp::Malloc},

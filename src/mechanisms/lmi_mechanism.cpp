@@ -15,6 +15,8 @@ LmiMechanism::name() const
 {
     if (options_.subobject)
         return "lmi+subobject";
+    if (options_.static_elide)
+        return "lmi+elide";
     return options_.liveness_tracking ? "lmi+liveness" : "lmi";
 }
 
@@ -40,6 +42,8 @@ LmiMechanism::codegenOptions() const
     CodegenOptions opts;
     opts.lmi = true;
     opts.subobject = options_.subobject;
+    if (options_.static_elide)
+        opts.analysis_level = analysis::AnalysisLevel::Full;
     opts.codec = options_.codec;
     return opts;
 }
@@ -81,14 +85,25 @@ uint64_t
 LmiMechanism::onIntResult(const Instruction& inst, uint64_t ptr_in,
                           uint64_t out)
 {
-    (void)inst;
+    if (inst.hints.elide_check) {
+        // The compiler proved this result bit-identical to the checked
+        // one; the OCU power-gates the check (E hint bit).
+        (void)ptr_in;
+        if (state_.stats)
+            state_.stats->inc("ocu.checks_elided");
+        return out;
+    }
     return ocu_.check(ptr_in, out).out;
 }
 
 unsigned
 LmiMechanism::extraIntLatency(const Instruction& inst) const
 {
-    return inst.hints.active ? options_.ocu_latency : 0;
+    // Elided checks skip the register-sliced OCU entirely, so the
+    // result does not pay the extra latency.
+    return inst.hints.active && !inst.hints.elide_check
+               ? options_.ocu_latency
+               : 0;
 }
 
 PoisonCause

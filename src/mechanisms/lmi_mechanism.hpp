@@ -46,6 +46,13 @@ class LmiMechanism : public ProtectionMechanism
          * (sub-extents repurpose the UM-identity assumptions).
          */
         bool subobject = false;
+        /**
+         * Static-elision extension: compile kernels at analysis level
+         * Full, so the range analysis proves pointer operations safe and
+         * the OCU power-gates (elides) their dynamic checks via the E
+         * hint bit. Proven violations become compile errors.
+         */
+        bool static_elide = false;
         PointerCodec codec{};
     };
 

@@ -16,6 +16,7 @@ mechanismKindName(MechanismKind kind)
       case MechanismKind::Lmi:         return "lmi";
       case MechanismKind::LmiLiveness: return "lmi+liveness";
       case MechanismKind::LmiSubobject: return "lmi+subobject";
+      case MechanismKind::LmiElide:    return "lmi+elide";
       case MechanismKind::GpuShield:   return "gpushield";
       case MechanismKind::BaggySw:     return "baggy-sw";
       case MechanismKind::Gmod:        return "gmod";
@@ -32,9 +33,10 @@ allMechanisms()
     static const std::vector<MechanismKind> all = {
         MechanismKind::Baseline,     MechanismKind::Lmi,
         MechanismKind::LmiLiveness,  MechanismKind::LmiSubobject,
-        MechanismKind::GpuShield,    MechanismKind::BaggySw,
-        MechanismKind::Gmod,         MechanismKind::CuCatch,
-        MechanismKind::MemcheckDbi,  MechanismKind::LmiDbi};
+        MechanismKind::LmiElide,     MechanismKind::GpuShield,
+        MechanismKind::BaggySw,      MechanismKind::Gmod,
+        MechanismKind::CuCatch,     MechanismKind::MemcheckDbi,
+        MechanismKind::LmiDbi};
     return all;
 }
 
@@ -67,6 +69,11 @@ makeMechanism(MechanismKind kind)
       case MechanismKind::LmiSubobject: {
         LmiMechanism::Options opts;
         opts.subobject = true;
+        return std::make_unique<LmiMechanism>(opts);
+      }
+      case MechanismKind::LmiElide: {
+        LmiMechanism::Options opts;
+        opts.static_elide = true;
         return std::make_unique<LmiMechanism>(opts);
       }
       case MechanismKind::GpuShield:

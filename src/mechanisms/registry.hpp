@@ -21,6 +21,7 @@ enum class MechanismKind {
     Lmi,         ///< the paper's contribution (HW OCU + EC)
     LmiLiveness, ///< LMI + §XII-C pointer-liveness tracking
     LmiSubobject,///< LMI + intra-object sub-K extents (future work)
+    LmiElide,    ///< LMI + static range analysis eliding proven checks
     GpuShield,   ///< region-based HW bounds checking (ISCA'22)
     BaggySw,     ///< software Baggy Bounds adapted to GPU
     Gmod,        ///< canary scheme (PACT'18)

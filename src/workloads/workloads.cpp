@@ -491,8 +491,10 @@ buildWorkloadKernel(const WorkloadProfile& p)
         auto bias = b.constFloat(0.25);
         for (unsigned i = 0; i < fp_iters; ++i)
             fv = b.ffma(fv, scale, bias);
-        // Fold the float chain back (bit mix keeps the dependence).
-        x = b.ixor(x, fv);
+        // Fold the float chain back (bit mix keeps the dependence);
+        // fbits reinterprets the float register so the xor stays
+        // integer-typed.
+        x = b.ixor(x, b.fbits(fv));
     }
 
     // Device-heap usage.

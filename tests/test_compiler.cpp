@@ -69,7 +69,9 @@ TEST(PointerAnalysis, RejectsIntToPtr)
     b.ret();
     const PointerAnalysis pa = analyzePointers(f);
     ASSERT_FALSE(pa.ok());
-    EXPECT_NE(pa.violations[0].find("inttoptr"), std::string::npos);
+    EXPECT_NE(pa.violations[0].message.find("inttoptr"), std::string::npos);
+    EXPECT_EQ(pa.violations[0].severity, analysis::Severity::Error);
+    EXPECT_EQ(pa.violations[0].function, "evil");
 }
 
 TEST(PointerAnalysis, RejectsPointerStore)
@@ -82,7 +84,8 @@ TEST(PointerAnalysis, RejectsPointerStore)
     b.ret();
     const PointerAnalysis pa = analyzePointers(f);
     ASSERT_FALSE(pa.ok());
-    EXPECT_NE(pa.violations[0].find("store of pointer"), std::string::npos);
+    EXPECT_NE(pa.violations[0].message.find("store of pointer"),
+              std::string::npos);
 }
 
 TEST(PointerAnalysis, CastsAllowedWhenUnrestricted)

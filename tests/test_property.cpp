@@ -19,6 +19,13 @@
 #include <map>
 #include <set>
 
+// GCC 12's -Wrestrict false-positives on libstdc++'s inlined string
+// append inside gtest assertion expansions (GCC bug 105651); harmless
+// here, but it breaks the -Werror lint build.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include "alloc/global_allocator.hpp"
 #include "alloc/layout.hpp"
 #include "arch/microcode.hpp"

@@ -21,6 +21,11 @@
  *   lmi_explore trace <workload> <mechanism> [events]
  *       Capture an instruction trace (NVBit-style) and print the first
  *       N events plus the stream characterization.
+ *   lmi_explore verify [--workloads a,b] [--json FILE]
+ *       Run the static-analysis pipeline (IR verifier, range analysis,
+ *       lints) over every in-tree workload kernel, print diagnostics
+ *       and per-kernel safety-classification counts, and exit non-zero
+ *       when any error-severity diagnostic is found (CI gate).
  *
  * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
  * sweep, security; 0 = all cores, default 1), `--cache DIR` points the
@@ -33,7 +38,9 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/analysis.hpp"
 #include "common/table.hpp"
+#include "compiler/codegen.hpp"
 #include "mechanisms/registry.hpp"
 #include "runner/experiment_runner.hpp"
 #include "security/violations.hpp"
@@ -75,7 +82,10 @@ splitCommas(const std::string& s)
 int
 usage()
 {
-    std::printf(
+    // Usage goes to stderr: an unknown subcommand is an error, and a
+    // pipeline consuming stdout must not see the help text as data.
+    std::fprintf(
+        stderr,
         "usage:\n"
         "  lmi_explore list\n"
         "  lmi_explore run <workload> <mechanism> [scale]\n"
@@ -85,6 +95,7 @@ usage()
         "  lmi_explore disasm <workload> <mechanism>\n"
         "  lmi_explore security <mechanism> [--jobs N]\n"
         "  lmi_explore trace <workload> <mechanism> [events]\n"
+        "  lmi_explore verify [--workloads a,b] [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --cache DIR\n");
     return 2;
 }
@@ -146,12 +157,15 @@ cmdRun(const std::string& workload, MechanismKind kind, double scale)
     table.addRow({"faults", std::to_string(r.faults.size())});
     std::printf("%s", table.render().c_str());
 
-    if (dev.stats().counter("ocu.checks"))
-        std::printf("OCU checks: %llu (violations: %llu)\n",
+    if (dev.stats().counter("ocu.checks") ||
+        dev.stats().counter("ocu.checks_elided"))
+        std::printf("OCU checks: %llu (violations: %llu, elided: %llu)\n",
                     static_cast<unsigned long long>(
                         dev.stats().counter("ocu.checks")),
                     static_cast<unsigned long long>(
-                        dev.stats().counter("ocu.violations")));
+                        dev.stats().counter("ocu.violations")),
+                    static_cast<unsigned long long>(
+                        dev.stats().counter("ocu.checks_elided")));
     if (dev.stats().counter("gpushield.rcache_probes"))
         std::printf("RCache probes: %llu (misses: %llu)\n",
                     static_cast<unsigned long long>(
@@ -307,6 +321,68 @@ cmdSecurity(MechanismKind kind, const GlobalOpts& opts)
 }
 
 int
+cmdVerify(const GlobalOpts& opts)
+{
+    std::vector<std::string> names;
+    if (!opts.workloads_filter.empty())
+        names = splitCommas(opts.workloads_filter);
+    else
+        for (const auto& profile : workloadSuite())
+            names.push_back(profile.name);
+
+    analysis::AnalysisOptions aopts;
+    aopts.level = analysis::AnalysisLevel::Full;
+
+    size_t total_errors = 0, total_warnings = 0;
+    std::string json = "[";
+    TextTable table({"workload", "proven safe", "violating", "unknown",
+                     "diagnostics"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        const WorkloadProfile& profile = findWorkload(names[i]);
+        const ir::IrModule m = buildWorkloadKernel(profile);
+        const ir::IrFunction flat = inlineCalls(m, *m.find(profile.name));
+        const analysis::AnalysisReport report =
+            analysis::analyzeFunction(flat, aopts);
+
+        size_t warnings = 0;
+        for (const auto& d : report.diagnostics) {
+            if (d.severity == analysis::Severity::Warning)
+                ++warnings;
+            std::printf("%s\n", d.toString().c_str());
+        }
+        total_errors += report.errors();
+        total_warnings += warnings;
+        table.addRow({profile.name, std::to_string(report.proven_safe),
+                      std::to_string(report.proven_violating),
+                      std::to_string(report.unknown),
+                      std::to_string(report.diagnostics.size())});
+
+        if (i)
+            json += ",";
+        json += "\n  {\"workload\": \"" + analysis::jsonEscape(profile.name) +
+                "\", \"proven_safe\": " +
+                std::to_string(report.proven_safe) +
+                ", \"proven_violating\": " +
+                std::to_string(report.proven_violating) +
+                ", \"unknown\": " + std::to_string(report.unknown) +
+                ", \"errors\": " + std::to_string(report.errors()) +
+                ", \"diagnostics\": " +
+                analysis::renderDiagnosticsJson(report.diagnostics) + "}";
+    }
+    json += "\n]\n";
+
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu kernels verified: %zu errors, %zu warnings\n",
+                names.size(), total_errors, total_warnings);
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << json;
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return total_errors ? 1 : 0;
+}
+
+int
 cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
 {
     Device dev(makeMechanism(kind));
@@ -401,6 +477,8 @@ main(int argc, char** argv)
                                 ? size_t(std::atoll(args[3].c_str()))
                                 : 20);
         }
+        if (cmd == "verify")
+            return cmdVerify(opts);
         if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
             if (!mechanismFromName(args[1], &kind))
