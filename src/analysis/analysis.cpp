@@ -9,6 +9,7 @@ analysisLevelName(AnalysisLevel level)
       case AnalysisLevel::Off:    return "off";
       case AnalysisLevel::Verify: return "verify";
       case AnalysisLevel::Full:   return "full";
+      case AnalysisLevel::Race:   return "race";
     }
     return "?";
 }
@@ -23,7 +24,7 @@ analyzeFunction(const ir::IrFunction& f, const AnalysisOptions& opts)
     VerifyOptions vopts;
     vopts.lmi_invariants = opts.lmi_invariants;
     report.diagnostics = verifyFunction(f, vopts);
-    if (report.errors() || opts.level != AnalysisLevel::Full)
+    if (report.errors() || opts.level == AnalysisLevel::Verify)
         return report; // later passes assume structurally valid IR
 
     RangeAnalysisOptions ropts;
@@ -45,6 +46,21 @@ analyzeFunction(const ir::IrFunction& f, const AnalysisOptions& opts)
     auto lint = lintFunction(f, lopts);
     report.diagnostics.insert(report.diagnostics.end(), lint.begin(),
                               lint.end());
+
+    if (opts.level == AnalysisLevel::Race) {
+        RaceAnalysisOptions raopts;
+        raopts.codec = opts.codec;
+        raopts.block_threads = opts.block_threads;
+        raopts.grid_blocks = opts.grid_blocks;
+        RaceReport races = analyzeRaces(f, raopts);
+        report.race_racy = races.provenRacy();
+        report.race_disjoint = races.provenDisjoint();
+        report.race_unknown = races.unknown();
+        report.race_divergent_barriers = races.divergent_barriers.size();
+        report.diagnostics.insert(report.diagnostics.end(),
+                                  races.diagnostics.begin(),
+                                  races.diagnostics.end());
+    }
     return report;
 }
 

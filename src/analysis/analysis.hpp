@@ -20,7 +20,10 @@
  *   Off     nothing runs (release default; debug builds still verify);
  *   Verify  the verifier gates compilation;
  *   Full    verifier + range + lint; PROVEN_SAFE ops get the elide
- *           hint bit and skip the dynamic OCU check.
+ *           hint bit and skip the dynamic OCU check;
+ *   Race    Full plus the barrier-aware race/divergence analyzer
+ *           (race_analysis.hpp); ProvenRacy pairs and divergent
+ *           barriers are error diagnostics.
  */
 
 #pragma once
@@ -29,6 +32,7 @@
 
 #include "analysis/diagnostic.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/race_analysis.hpp"
 #include "analysis/range_analysis.hpp"
 #include "analysis/verify.hpp"
 #include "ir/ir.hpp"
@@ -36,7 +40,7 @@
 namespace lmi::analysis {
 
 /** How much of the pipeline the compiler driver runs. */
-enum class AnalysisLevel : uint8_t { Off, Verify, Full };
+enum class AnalysisLevel : uint8_t { Off, Verify, Full, Race };
 
 struct AnalysisOptions
 {
@@ -46,6 +50,9 @@ struct AnalysisOptions
     /** Sub-object (narrowed fieldgep extent) mode: see range analysis. */
     bool subobject = false;
     PointerCodec codec{};
+    /** Launch geometry hints for the race analyzer; 0 = unknown. */
+    unsigned block_threads = 0;
+    unsigned grid_blocks = 0;
 };
 
 /** Combined result of one pipeline run over one function. */
@@ -58,6 +65,12 @@ struct AnalysisReport
     size_t proven_safe = 0;
     size_t proven_violating = 0;
     size_t unknown = 0;
+
+    /** Race-analyzer summary (Race level only). */
+    size_t race_racy = 0;
+    size_t race_disjoint = 0;
+    size_t race_unknown = 0;
+    size_t race_divergent_barriers = 0;
 
     size_t errors() const { return errorCount(diagnostics); }
 };

@@ -108,7 +108,121 @@ Cfg::build(const IrFunction& f)
         }
     }
     cfg.idom[0] = -1;
+
+    // Postdominators against a virtual exit node (index n) whose
+    // reverse-graph successors are every block without CFG successors
+    // (Ret blocks, and malformed terminator-less blocks the verifier
+    // reports separately). Blocks that cannot reach any exit (infinite
+    // loops) stay outside the postdominator tree: reaches_exit is false
+    // and their ipdom is -1.
+    const size_t vexit = n;
+    std::vector<BlockId> exits;
+    for (BlockId b = 0; b < n; ++b)
+        if (cfg.succs[b].empty())
+            exits.push_back(b);
+
+    // Reverse-graph adjacency: vexit -> exits, b -> preds-of-b in the
+    // reverse graph are succs-of-b in the original one.
+    auto rsuccs = [&](size_t b) -> const std::vector<BlockId>& {
+        return b == vexit ? exits : cfg.preds[b];
+    };
+
+    std::vector<bool> rseen(n + 1, false);
+    std::vector<size_t> rpo_r;
+    {
+        struct Frame
+        {
+            size_t block;
+            size_t next;
+        };
+        std::vector<size_t> po_r;
+        std::vector<Frame> stack{{vexit, 0}};
+        rseen[vexit] = true;
+        while (!stack.empty()) {
+            Frame& top = stack.back();
+            const auto& ss = rsuccs(top.block);
+            if (top.next < ss.size()) {
+                const size_t s = ss[top.next++];
+                if (!rseen[s]) {
+                    rseen[s] = true;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                po_r.push_back(top.block);
+                stack.pop_back();
+            }
+        }
+        rpo_r.assign(po_r.rbegin(), po_r.rend());
+    }
+    std::vector<int> rpo_r_index(n + 1, -1);
+    for (size_t i = 0; i < rpo_r.size(); ++i)
+        rpo_r_index[rpo_r[i]] = int(i);
+
+    std::vector<int> pdom(n + 1, -1);
+    auto pintersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_r_index[size_t(a)] > rpo_r_index[size_t(b)])
+                a = pdom[size_t(a)];
+            while (rpo_r_index[size_t(b)] > rpo_r_index[size_t(a)])
+                b = pdom[size_t(b)];
+        }
+        return a;
+    };
+    pdom[vexit] = int(vexit);
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b : rpo_r) {
+            if (b == vexit)
+                continue;
+            int new_pdom = -1;
+            // Reverse-graph predecessors of b: its original successors,
+            // plus the virtual exit when b itself is an exit.
+            auto consider = [&](size_t s) {
+                if (!rseen[s] || pdom[s] < 0)
+                    return;
+                new_pdom = new_pdom < 0 ? int(s)
+                                        : pintersect(new_pdom, int(s));
+            };
+            for (BlockId s : cfg.succs[b])
+                consider(s);
+            if (cfg.succs[b].empty())
+                consider(vexit);
+            if (new_pdom >= 0 && pdom[b] != new_pdom) {
+                pdom[b] = new_pdom;
+                changed = true;
+            }
+        }
+    }
+
+    cfg.ipdom.assign(n, -1);
+    cfg.reaches_exit.assign(n, false);
+    for (BlockId b = 0; b < n; ++b) {
+        cfg.reaches_exit[b] = rseen[b];
+        if (pdom[b] >= 0 && size_t(pdom[b]) != vexit)
+            cfg.ipdom[b] = pdom[b];
+    }
     return cfg;
+}
+
+bool
+Cfg::postDominates(BlockId a, BlockId b) const
+{
+    if (a >= preds.size() || b >= preds.size())
+        return false;
+    if (a == b)
+        return true;
+    // Blocks that cannot reach an exit are postdominated only by
+    // themselves (no path to strengthen the claim exists).
+    if (!reaches_exit[b])
+        return false;
+    int cur = ipdom[b];
+    while (cur >= 0) {
+        if (BlockId(cur) == a)
+            return true;
+        cur = ipdom[size_t(cur)];
+    }
+    return false;
 }
 
 bool

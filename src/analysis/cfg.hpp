@@ -28,6 +28,14 @@ struct Cfg
     std::vector<int> rpo_index;
     /** Immediate dominator of each block; -1 for entry and unreachable. */
     std::vector<int> idom;
+    /**
+     * Immediate postdominator; -1 when the virtual exit is the immediate
+     * postdominator (exit blocks) or the block cannot reach any exit
+     * (infinite loops, unreachable blocks).
+     */
+    std::vector<int> ipdom;
+    /** True when the block can reach a function exit (Ret or no succs). */
+    std::vector<bool> reaches_exit;
 
     static Cfg build(const ir::IrFunction& f);
 
@@ -42,6 +50,15 @@ struct Cfg
      * never executes, so any dominance query is vacuously satisfiable.
      */
     bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /**
+     * True when @p a postdominates @p b (reflexive): every path from
+     * @p b to a function exit passes through @p a. Computed against a
+     * virtual exit joining all Ret/no-successor blocks, so multi-exit
+     * functions work; blocks on infinite loops postdominate nothing but
+     * themselves and are postdominated only by themselves.
+     */
+    bool postDominates(ir::BlockId a, ir::BlockId b) const;
 };
 
 } // namespace lmi::analysis

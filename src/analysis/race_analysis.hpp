@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Barrier-aware static race and divergence analysis (GPUVerify-style
+ * two-thread abstraction over the kernel IR).
+ *
+ * The pass reasons about shared- and global-memory accesses only (local
+ * memory is thread-private by construction):
+ *
+ *  1. The CFG is cut at Barrier instructions into *segments*; the
+ *     barrier-free forward-reachable segment set from each *source*
+ *     (function entry and every post-barrier segment) is one barrier
+ *     epoch region. Two accesses may happen in parallel (MHP) within a
+ *     block iff some region contains both segments. Global-memory
+ *     accesses from different blocks are always MHP — barriers do not
+ *     synchronize the grid.
+ *
+ *  2. Each access index is decomposed into an affine form
+ *     a_tid*tid + a_cta*ctaid + konst + sum(c_i * sym_i), where sym_i
+ *     are opaque SSA values carrying an interval (from the range
+ *     analysis), a uniformity bit (tid-taint analysis over operands and
+ *     control dependence), and an always-equal bit (pure functions of
+ *     params/constants/geometry). `x & mask` collapses to `x` when the
+ *     interval of `x` provably fits [0, mask] (mask+1 a power of two),
+ *     which is how the workload generator's wrap-around masks vanish.
+ *
+ *  3. For each pair of accesses to potentially aliasing roots with at
+ *     least one store, the conflict equation idx1(thread1) ==
+ *     idx2(thread2) is solved per abstract thread pair: symbols shared
+ *     by both sides cancel when they are always-equal, or when both
+ *     accesses sit in the same segment off any barrier-free cycle and
+ *     the symbol is uniform (same loop trip, same value in every
+ *     thread); everything else contributes a gcd-stride + interval
+ *     residual. Thread differences are enumerated within the launch
+ *     geometry (when provided). Verdicts:
+ *
+ *       ProvenDisjoint  no thread pair can collide on any execution;
+ *       ProvenRacy      a definite witness exists (no free symbols,
+ *                       exact thread offset, accesses in the same
+ *                       segment under uniform control) — reported as an
+ *                       error Diagnostic;
+ *       Unknown         neither provable; the dynamic sanitizer is the
+ *                       backstop.
+ *
+ *  4. Barrier divergence: a Barrier whose block is transitively
+ *     control-dependent on a branch with a tid-tainted condition is an
+ *     error (threads could arrive at different barriers or not at all).
+ *
+ * The dynamic cross-check lives in src/sim/race_sanitizer.hpp; the
+ * analyzer is warp-agnostic (a pair within one warp executes in
+ * lockstep dynamically, so the sanitizer only observes the cross-warp
+ * witnesses of a ProvenRacy verdict).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/range_analysis.hpp"
+#include "ir/ir.hpp"
+
+namespace lmi::analysis {
+
+/** Verdict for one pair of potentially conflicting accesses. */
+enum class RaceVerdict : uint8_t { ProvenDisjoint, Unknown, ProvenRacy };
+
+const char* raceVerdictName(RaceVerdict v);
+
+struct RaceAnalysisOptions
+{
+    /** Launch geometry hints; 0 = unknown (weakens disjointness proofs
+     *  to what holds for every geometry). */
+    unsigned block_threads = 0;
+    unsigned grid_blocks = 0;
+    /**
+     * Treat distinct pointer parameters as non-aliasing buffers
+     * (GPUVerify's array abstraction; the CUDA __restrict__ discipline
+     * every in-tree kernel follows). Disable for soundness against
+     * callers that pass one buffer twice.
+     */
+    bool assume_param_noalias = true;
+    PointerCodec codec{};
+};
+
+/** One shared/global access the analyzer reasons about. */
+struct RaceAccess
+{
+    ir::ValueId inst = ir::kNoValue; ///< the Load or Store
+    bool is_store = false;
+    MemSpace space = MemSpace::Global;
+};
+
+/** One analyzed pair of accesses that may touch common memory. */
+struct RacePair
+{
+    size_t first = 0, second = 0; ///< indices into RaceReport::accesses
+    RaceVerdict verdict = RaceVerdict::Unknown;
+    std::string reason;
+};
+
+struct RaceReport
+{
+    std::vector<RaceAccess> accesses;
+    std::vector<RacePair> pairs;
+    /** Barrier instructions reachable under non-uniform control. */
+    std::vector<ir::ValueId> divergent_barriers;
+    /** ProvenRacy pairs and divergent barriers, as error diagnostics. */
+    std::vector<Diagnostic> diagnostics;
+
+    size_t count(RaceVerdict v) const;
+    size_t provenRacy() const { return count(RaceVerdict::ProvenRacy); }
+    size_t provenDisjoint() const
+    {
+        return count(RaceVerdict::ProvenDisjoint);
+    }
+    size_t unknown() const { return count(RaceVerdict::Unknown); }
+};
+
+/** Run the race/divergence analysis over one (flattened) function. */
+RaceReport analyzeRaces(const ir::IrFunction& f,
+                        const RaceAnalysisOptions& opts = {});
+
+} // namespace lmi::analysis

@@ -1028,7 +1028,7 @@ compileKernel(const IrModule& m, const std::string& kernel_name,
 
     // Propagate proven-safe classifications into the hint metadata: the
     // backend sets the E bit and the OCU power-gates those checks.
-    if (aopts.level == analysis::AnalysisLevel::Full)
+    if (aopts.level >= analysis::AnalysisLevel::Full)
         for (auto& [v, info] : pa.pointer_ops)
             if (auto it = report.safety.find(v);
                 it != report.safety.end() &&

@@ -16,6 +16,7 @@ faultKindName(FaultKind kind)
       case FaultKind::RegionOverflow:       return "region-overflow";
       case FaultKind::TripwireHit:          return "tripwire-hit";
       case FaultKind::CompileTimeViolation: return "compile-time-violation";
+      case FaultKind::BarrierDivergence:    return "barrier-divergence";
     }
     return "unknown";
 }

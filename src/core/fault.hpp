@@ -37,6 +37,9 @@ enum class FaultKind {
     TripwireHit,
     /** Compile-time rejection (LMI: inttoptr / ptrtoint found in IR). */
     CompileTimeViolation,
+    /** Warps of one block reached incompatible barrier states (some
+     *  exited or parked at a different barrier while others wait). */
+    BarrierDivergence,
 };
 
 /** Human-readable name for @p kind. */

@@ -167,6 +167,18 @@ Device::launchTraced(const CompiledKernel& kernel, unsigned grid_blocks,
 }
 
 RunResult
+Device::launchSanitized(const CompiledKernel& kernel, unsigned grid_blocks,
+                        unsigned block_threads,
+                        std::vector<uint64_t> params,
+                        RaceSanitizer& sanitizer,
+                        uint64_t dynamic_shared_bytes)
+{
+    return launchImpl(kernel, grid_blocks, block_threads,
+                      std::move(params), dynamic_shared_bytes, nullptr,
+                      &sanitizer);
+}
+
+RunResult
 Device::launch(const CompiledKernel& kernel, unsigned grid_blocks,
                unsigned block_threads, std::vector<uint64_t> params,
                uint64_t dynamic_shared_bytes)
@@ -178,7 +190,8 @@ Device::launch(const CompiledKernel& kernel, unsigned grid_blocks,
 RunResult
 Device::launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
                    unsigned block_threads, std::vector<uint64_t> params,
-                   uint64_t dynamic_shared_bytes, TraceSink* trace)
+                   uint64_t dynamic_shared_bytes, TraceSink* trace,
+                   RaceSanitizer* sanitizer)
 {
     if (block_threads == 0 || grid_blocks == 0)
         lmi_fatal("launch of %s with empty grid", kernel.program.name.c_str());
@@ -193,6 +206,7 @@ Device::launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
     launch.params = std::move(params);
     launch.dynamic_shared_bytes = dynamic_shared_bytes;
     launch.trace = trace;
+    launch.sanitizer = sanitizer;
 
     GpuSim sim(config_, *mech_, global_mem_, *heap_alloc_, kernel.program,
                std::move(launch));

@@ -87,6 +87,14 @@ class Device
                            std::vector<uint64_t> params, TraceSink& trace,
                            uint64_t dynamic_shared_bytes = 0);
 
+    /** As launch(), additionally reporting every shared/global access to
+     *  @p sanitizer (the dynamic race cross-check; observational only). */
+    RunResult launchSanitized(const CompiledKernel& kernel,
+                              unsigned grid_blocks, unsigned block_threads,
+                              std::vector<uint64_t> params,
+                              RaceSanitizer& sanitizer,
+                              uint64_t dynamic_shared_bytes = 0);
+
     // --- Introspection ----------------------------------------------------
     ProtectionMechanism& mechanism() { return *mech_; }
     GlobalAllocator& globalAllocator() { return *global_alloc_; }
@@ -100,7 +108,8 @@ class Device
     RunResult launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
                          unsigned block_threads,
                          std::vector<uint64_t> params,
-                         uint64_t dynamic_shared_bytes, TraceSink* trace);
+                         uint64_t dynamic_shared_bytes, TraceSink* trace,
+                         RaceSanitizer* sanitizer = nullptr);
 
     GpuConfig config_;
     std::unique_ptr<ProtectionMechanism> mech_;

@@ -66,6 +66,8 @@ struct GpuSim::Warp
     std::vector<std::pair<uint64_t, uint32_t>> stack; ///< (pc, mask)
     uint64_t stall_until = 0;
     bool at_barrier = false;
+    /** PC of the BAR this warp is parked on (valid while at_barrier). */
+    uint64_t barrier_pc = 0;
     bool done = false;
 
     uint64_t&
@@ -293,6 +295,12 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
             warp.reg(lane, unsigned(inst.dst)) = v;
         }
 
+        if (launch_.sanitizer)
+            launch_.sanitizer->onAccess(space, warp.block,
+                                        warp.warp_in_block, gtid,
+                                        warp.pc, addr, inst.width,
+                                        is_store);
+
         if (space != MemSpace::Shared) {
             const uint64_t line = probe_addr / config_.line_bytes;
             if (std::find(lines.begin(), lines.end(), line) == lines.end())
@@ -477,10 +485,31 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         return true;
       }
 
-      case Opcode::BAR:
+      case Opcode::BAR: {
+        // Barrier divergence, lane level: every non-exited lane of the
+        // warp must arrive together. A partial active mask means the
+        // barrier sits under a divergent branch — undefined behaviour
+        // on real hardware, a hang or silent early release in naive
+        // simulators. Fail loudly instead.
+        const uint32_t live_mask =
+            (warp.lanes >= 32 ? ~uint32_t(0) : ((1u << warp.lanes) - 1)) &
+            ~warp.exited;
+        if (warp.active != live_mask) {
+            Fault f;
+            f.kind = FaultKind::BarrierDivergence;
+            f.detail = "barrier under divergent control flow in " +
+                       program_.name + ": block " +
+                       std::to_string(warp.block) + " warp " +
+                       std::to_string(warp.warp_in_block) +
+                       " arrived with partial active mask";
+            recordFault(f);
+            return true;
+        }
         warp.at_barrier = true;
+        warp.barrier_pc = warp.pc;
         ++warp.pc;
         return true;
+      }
 
       case Opcode::NOP:
       case Opcode::RET:
@@ -503,6 +532,8 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
                 return true;
             }
             mech_.onDeviceAlloc(ptr, size);
+            if (launch_.sanitizer)
+                launch_.sanitizer->onDeviceAlloc(ptr, size);
             warp.reg(lane, unsigned(inst.dst)) = ptr;
         }
         warp.reg_ready[unsigned(inst.dst)] =
@@ -625,20 +656,59 @@ GpuSim::releaseBarriers(SmCtx& sm)
 {
     for (auto& block : sm.blocks) {
         unsigned waiting = 0, live = 0;
+        uint64_t bar_pc = ~uint64_t(0);
+        bool mixed_pc = false;
         for (auto& w : sm.warps) {
             if (w.block != block.block_id || w.done)
                 continue;
             ++live;
-            if (w.at_barrier)
+            if (w.at_barrier) {
                 ++waiting;
+                if (bar_pc == ~uint64_t(0))
+                    bar_pc = w.barrier_pc;
+                else if (bar_pc != w.barrier_pc)
+                    mixed_pc = true;
+            }
         }
-        if (live > 0 && waiting == live) {
+        if (waiting == 0)
+            continue;
+        // Barrier divergence, warp level: a warp that already ran to
+        // completion can never arrive, so the waiting warps would hang
+        // forever. Diagnose instead of deadlocking.
+        if (live < block.num_warps) {
+            Fault f;
+            f.kind = FaultKind::BarrierDivergence;
+            f.detail =
+                "barrier divergence in " + program_.name + ": block " +
+                std::to_string(block.block_id) + " has " +
+                std::to_string(waiting) + " warp(s) at a barrier while " +
+                std::to_string(block.num_warps - live) +
+                " warp(s) already exited";
+            recordFault(f);
+            return;
+        }
+        if (waiting == live) {
+            // All warps arrived — but releasing warps parked on
+            // *different* barriers would silently merge incompatible
+            // reconvergence states. That is also divergence.
+            if (mixed_pc) {
+                Fault f;
+                f.kind = FaultKind::BarrierDivergence;
+                f.detail = "barrier divergence in " + program_.name +
+                           ": warps of block " +
+                           std::to_string(block.block_id) +
+                           " are parked at different barriers";
+                recordFault(f);
+                return;
+            }
             for (auto& w : sm.warps) {
                 if (w.block == block.block_id && w.at_barrier) {
                     w.at_barrier = false;
                     w.stall_until = sm.cycle + config_.barrier_latency;
                 }
             }
+            if (launch_.sanitizer)
+                launch_.sanitizer->onBarrierRelease(block.block_id);
         }
     }
 }
@@ -718,6 +788,9 @@ GpuSim::runSm(SmCtx& sm)
                     all_done = false;
             if (all_done) {
                 shared_mem_.erase(sm.blocks[i].block_id);
+                if (launch_.sanitizer)
+                    launch_.sanitizer->onBlockRetire(
+                        sm.blocks[i].block_id);
                 sm.blocks.erase(sm.blocks.begin() + long(i));
             } else {
                 ++i;
@@ -822,6 +895,13 @@ GpuSim::run()
 
     for (Fault& f : mech_.onKernelEnd())
         result_.faults.push_back(std::move(f));
+
+    if (launch_.sanitizer) {
+        result_.stats.inc("race.sanitizer_conflicts",
+                          launch_.sanitizer->conflictCount());
+        result_.stats.inc("race.sanitizer_words",
+                          launch_.sanitizer->wordsTracked());
+    }
 
     result_.stats.set("sim.l1_hit_rate",
                       result_.l1_hits + result_.l1_misses == 0

@@ -32,6 +32,7 @@
 #include "sim/config.hpp"
 #include "sim/mechanism.hpp"
 #include "sim/memory.hpp"
+#include "sim/race_sanitizer.hpp"
 #include "sim/result.hpp"
 #include "sim/trace.hpp"
 
@@ -46,6 +47,8 @@ struct Launch
     uint64_t dynamic_shared_bytes = 0;
     /** Optional instruction-trace sink (NVBit-style capture). */
     TraceSink* trace = nullptr;
+    /** Optional dynamic race sanitizer (purely observational). */
+    RaceSanitizer* sanitizer = nullptr;
 };
 
 /**

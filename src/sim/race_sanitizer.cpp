@@ -1,0 +1,126 @@
+#include "sim/race_sanitizer.hpp"
+
+#include <sstream>
+
+namespace lmi {
+
+std::string
+RaceSanitizer::Report::toString() const
+{
+    std::ostringstream os;
+    os << "race on " << memSpaceName(space) << " word 0x" << std::hex
+       << addr << std::dec << ": "
+       << (is_store ? "store" : "load") << " by block " << block
+       << " warp " << warp << " thread " << gtid << " (pc " << pc
+       << ") vs " << (other_is_store ? "store" : "load") << " by block "
+       << other_block << " warp " << other_warp << " thread "
+       << other_gtid << " (pc " << other_pc << ") in epoch " << epoch;
+    return os.str();
+}
+
+void
+RaceSanitizer::check(MemSpace space, const Access& cur,
+                     const Access& prev, uint64_t addr)
+{
+    if (!prev.valid)
+        return;
+    if (!cur.is_store && !prev.is_store)
+        return;
+    bool conflict;
+    if (prev.block != cur.block) {
+        // Different blocks are never ordered within a kernel; shared
+        // memory is per-block, so this arises for global memory only.
+        conflict = true;
+    } else {
+        conflict = prev.warp != cur.warp && prev.epoch == cur.epoch;
+    }
+    if (!conflict)
+        return;
+    ++conflicts_;
+    if (reports_.size() >= kMaxReports)
+        return;
+    Report r;
+    r.space = space;
+    r.addr = addr;
+    r.block = cur.block;
+    r.other_block = prev.block;
+    r.warp = cur.warp;
+    r.other_warp = prev.warp;
+    r.gtid = cur.gtid;
+    r.other_gtid = prev.gtid;
+    r.is_store = cur.is_store;
+    r.other_is_store = prev.is_store;
+    r.epoch = cur.epoch;
+    r.pc = cur.pc;
+    r.other_pc = prev.pc;
+    reports_.push_back(std::move(r));
+}
+
+void
+RaceSanitizer::onAccess(MemSpace space, uint32_t block, uint32_t warp,
+                        uint32_t gtid, uint64_t pc, uint64_t addr,
+                        unsigned width, bool is_store)
+{
+    if (space != MemSpace::Global && space != MemSpace::Shared)
+        return; // local/constant memory is thread-private/read-only
+
+    Access cur;
+    cur.valid = true;
+    cur.is_store = is_store;
+    cur.block = block;
+    cur.warp = warp;
+    cur.gtid = gtid;
+    cur.pc = pc;
+    if (auto it = epochs_.find(block); it != epochs_.end())
+        cur.epoch = it->second;
+
+    auto& shadow = space == MemSpace::Shared ? shared_ : global_;
+    const uint64_t first_word = addr >> 2;
+    const uint64_t last_word = (addr + (width ? width : 1) - 1) >> 2;
+    for (uint64_t w = first_word; w <= last_word; ++w) {
+        const uint64_t key = space == MemSpace::Shared
+                                 ? (uint64_t(block) << 40) | w
+                                 : w;
+        Cell& cell = shadow[key];
+        // A store conflicts with the previous write and the previous
+        // read; a load only with the previous write.
+        check(space, cur, cell.last_write, w << 2);
+        if (is_store) {
+            check(space, cur, cell.last_read, w << 2);
+            cell.last_write = cur;
+        } else {
+            cell.last_read = cur;
+        }
+    }
+}
+
+void
+RaceSanitizer::onBarrierRelease(uint32_t block)
+{
+    ++epochs_[block];
+}
+
+void
+RaceSanitizer::onBlockRetire(uint32_t block)
+{
+    epochs_.erase(block);
+    const uint64_t lo = uint64_t(block) << 40;
+    const uint64_t hi = uint64_t(block + 1) << 40;
+    for (auto it = shared_.begin(); it != shared_.end();) {
+        if (it->first >= lo && it->first < hi)
+            it = shared_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+RaceSanitizer::onDeviceAlloc(uint64_t ptr, uint64_t size)
+{
+    const uint64_t first_word = ptr >> 2;
+    const uint64_t last_word = size ? (ptr + size - 1) >> 2 : first_word;
+    for (uint64_t w = first_word; w <= last_word; ++w)
+        global_.erase(w);
+}
+
+} // namespace lmi

@@ -364,12 +364,54 @@ findWorkload(const std::string& name)
     lmi_fatal("no workload named '%s'", name.c_str());
 }
 
+const char*
+raceSeedName(RaceSeed seed)
+{
+    switch (seed) {
+    case RaceSeed::None: return "none";
+    case RaceSeed::SharedMissingBarrier: return "shared-missing-barrier";
+    case RaceSeed::SharedBroadcast: return "shared-broadcast";
+    case RaceSeed::GlobalStride0: return "global-stride0";
+    case RaceSeed::BarrierDivergence: return "barrier-divergence";
+    }
+    return "?";
+}
+
+std::vector<SeededWorkload>
+raceSeededVariants()
+{
+    // One variant per seed kind, each on a base profile that exercises
+    // the seeded code path (shared tiles for the shared races, global
+    // streaming for the stride-0 WAW). Geometry is kept multi-warp so
+    // every seeded race has cross-warp dynamic witnesses the sanitizer
+    // can observe (intra-warp pairs execute in lockstep).
+    std::vector<SeededWorkload> out;
+    auto add = [&](const char* profile, RaceSeed seed) {
+        SeededWorkload sw;
+        sw.seed = seed;
+        sw.profile = findWorkload(profile);
+        sw.name = sw.profile.name + "+" + raceSeedName(seed);
+        out.push_back(std::move(sw));
+    };
+    add("backprop", RaceSeed::SharedMissingBarrier);
+    add("hotspot", RaceSeed::SharedBroadcast);
+    add("bert", RaceSeed::GlobalStride0);
+    add("lud_cuda", RaceSeed::BarrierDivergence);
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // Kernel generator
 // ---------------------------------------------------------------------
 
 IrModule
 buildWorkloadKernel(const WorkloadProfile& p)
+{
+    return buildWorkloadKernel(p, RaceSeed::None);
+}
+
+IrModule
+buildWorkloadKernel(const WorkloadProfile& p, RaceSeed seed)
 {
     IrFunction f = IrBuilder::makeKernel(
         p.name, {{"in", Type::ptr(4)}, {"out", Type::ptr(4)},
@@ -453,18 +495,30 @@ buildWorkloadKernel(const WorkloadProfile& p)
         x = b.iadd(x, b.load(ptr));
     }
 
-    // Shared-memory tile traffic.
+    // Shared-memory tile traffic: each round is a publish/consume phase
+    // pair — every thread stores its slot, a barrier publishes the
+    // tile, every thread reads its neighbour's slot, and a second
+    // barrier closes the epoch before the next round's stores (and the
+    // next loop trip) may overwrite it. The SharedMissingBarrier seed
+    // drops both barriers, recreating the classic missing-
+    // __syncthreads() neighbour race; SharedBroadcast keeps the
+    // barriers but aims every store at slot 0 (a WAW race no barrier
+    // fixes).
     if (tile != kNoValue) {
         for (unsigned s = 0; s < p.shared_accesses; ++s) {
             auto slot = b.iand(b.iadd(tid_in_block,
                                       b.constInt(int64_t(s) * 7)),
                                tile_mask);
+            if (seed == RaceSeed::SharedBroadcast)
+                slot = zero;
             b.store(addr(tile, slot), x);
+            if (seed != RaceSeed::SharedMissingBarrier)
+                b.barrier();
             auto nslot = b.iand(b.iadd(slot, b.constInt(1)), tile_mask);
             x = b.load(addr(tile, nslot));
+            if (seed != RaceSeed::SharedMissingBarrier)
+                b.barrier();
         }
-        if (p.shared_accesses > 0)
-            b.barrier();
     }
 
     // Per-thread stack traffic.
@@ -505,11 +559,34 @@ buildWorkloadKernel(const WorkloadProfile& p)
         b.free_(hp);
     }
 
-    b.store(addr(out, idx), x);
+    // Barrier divergence seed: a barrier guarded by the lane parity,
+    // so half of every warp arrives and half does not.
+    BlockId tail_block = body;
+    if (seed == RaceSeed::BarrierDivergence) {
+        auto div_bar = b.block("div.bar");
+        auto div_cont = b.block("div.cont");
+        auto parity = b.iand(tid_in_block, b.constInt(1));
+        auto even = b.icmp(CmpOp::EQ, parity, zero);
+        b.br(even, div_bar, div_cont);
+        b.setInsertPoint(div_bar);
+        b.barrier();
+        b.jump(div_cont);
+        b.setInsertPoint(div_cont);
+        tail_block = div_cont;
+    }
+
+    // Output: always a streaming store — each (thread, trip) owns a
+    // unique element, so the write set is disjoint by construction even
+    // for scatter profiles (whose *loads* stay hash-scattered). The
+    // GlobalStride0 seed collapses every store onto element 0 instead.
+    ValueId out_idx = stream_idx;
+    if (seed == RaceSeed::GlobalStride0)
+        out_idx = zero;
+    b.store(addr(out, out_idx), x);
 
     auto next = b.iadd(e, b.constInt(1));
     f.inst(e).ops.push_back(next);
-    f.inst(e).phi_blocks.push_back(body);
+    f.inst(e).phi_blocks.push_back(tail_block);
     b.jump(header);
 
     // --- exit ----------------------------------------------------------------
@@ -523,7 +600,8 @@ buildWorkloadKernel(const WorkloadProfile& p)
 }
 
 WorkloadRun
-runWorkload(Device& dev, const WorkloadProfile& profile, double scale)
+runWorkload(Device& dev, const WorkloadProfile& profile, double scale,
+            RaceSeed seed, RaceSanitizer* sanitizer)
 {
     WorkloadProfile p = profile;
     if (scale < 1.0) {
@@ -548,11 +626,16 @@ runWorkload(Device& dev, const WorkloadProfile& profile, double scale)
         ptrs.push_back(ptr);
     }
 
-    const CompiledKernel kernel = dev.compile(buildWorkloadKernel(p),
-                                              p.name);
+    const CompiledKernel kernel =
+        dev.compile(buildWorkloadKernel(p, seed), p.name);
     WorkloadRun run;
-    run.result = dev.launch(kernel, p.grid_blocks, p.block_threads,
-                            {ptrs[0], ptrs[1], p.elements()});
+    std::vector<uint64_t> params = {ptrs[0], ptrs[1], p.elements()};
+    run.result =
+        sanitizer
+            ? dev.launchSanitized(kernel, p.grid_blocks, p.block_threads,
+                                  std::move(params), *sanitizer)
+            : dev.launch(kernel, p.grid_blocks, p.block_threads,
+                         std::move(params));
     run.peak_reserved = dev.globalAllocator().peakReservedBytes();
     return run;
 }

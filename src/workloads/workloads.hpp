@@ -111,8 +111,43 @@ std::vector<WorkloadProfile> dbiWorkloads();
 /** Find a profile by name (fatal if absent). */
 const WorkloadProfile& findWorkload(const std::string& name);
 
+/**
+ * Race seeds: deliberate concurrency bugs injected into the generated
+ * kernel, used to validate the static race analyzer and the dynamic
+ * race sanitizer against known-bad ground truth.
+ */
+enum class RaceSeed : uint8_t {
+    None,
+    /** Drop the barriers between the shared-tile store and the
+     *  neighbour-slot load: the classic missing-__syncthreads() race. */
+    SharedMissingBarrier,
+    /** Every thread stores the same shared slot (WAW broadcast race). */
+    SharedBroadcast,
+    /** Every thread stores the same global out element (grid-wide WAW). */
+    GlobalStride0,
+    /** Barrier under a lane-divergent branch (tid parity). */
+    BarrierDivergence,
+};
+
+const char* raceSeedName(RaceSeed seed);
+
+/** One race-seeded variant of a clean suite profile. */
+struct SeededWorkload
+{
+    std::string name; ///< "<profile>+<seed>"
+    RaceSeed seed = RaceSeed::None;
+    WorkloadProfile profile;
+};
+
+/** The race-seeded validation variants (one per RaceSeed kind). */
+std::vector<SeededWorkload> raceSeededVariants();
+
 /** Generate the benchmark kernel for @p profile. */
 ir::IrModule buildWorkloadKernel(const WorkloadProfile& profile);
+
+/** Generate the kernel with a deliberate race seeded in. */
+ir::IrModule buildWorkloadKernel(const WorkloadProfile& profile,
+                                 RaceSeed seed);
 
 /** Result of one workload execution. */
 struct WorkloadRun
@@ -125,9 +160,13 @@ struct WorkloadRun
 /**
  * Allocate the profile's host buffers on @p dev, then compile and launch
  * the kernel. Scale factors < 1.0 shrink the launch geometry for
- * expensive (DBI) configurations.
+ * expensive (DBI) configurations. A non-None @p seed launches the
+ * race-seeded kernel variant instead of the clean one. A non-null
+ * @p sanitizer observes every shared/global access of the launch.
  */
 WorkloadRun runWorkload(Device& dev, const WorkloadProfile& profile,
-                        double scale = 1.0);
+                        double scale = 1.0,
+                        RaceSeed seed = RaceSeed::None,
+                        RaceSanitizer* sanitizer = nullptr);
 
 } // namespace lmi

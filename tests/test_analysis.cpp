@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "analysis/analysis.hpp"
+#include "analysis/cfg.hpp"
 #include "arch/microcode.hpp"
 #include "compiler/codegen.hpp"
 #include "ir/builder.hpp"
@@ -694,6 +696,145 @@ TEST(AnalysisEndToEnd, ElisionNeverRegressesSecurityDetection)
         const bool elide_hit = c.run(elide_dev).detected();
         EXPECT_EQ(lmi_hit, elide_hit) << c.id;
     }
+}
+
+// ---------------------------------------------------------------------
+// CFG dominance/postdominance edge cases.
+// ---------------------------------------------------------------------
+
+TEST(Cfg, UnreachableBlockHasNoRpoPositionAndVacuousDominance)
+{
+    // entry -> exit, plus an orphan block no edge reaches.
+    IrFunction f = IrBuilder::makeKernel("orphan", {});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto exit = b.block("exit");
+    auto orphan = b.block("orphan");
+
+    b.setInsertPoint(entry);
+    b.jump(exit);
+    b.setInsertPoint(exit);
+    b.ret();
+    b.setInsertPoint(orphan);
+    b.ret();
+
+    const analysis::Cfg cfg = analysis::Cfg::build(f);
+    EXPECT_TRUE(cfg.reachable(entry));
+    EXPECT_TRUE(cfg.reachable(exit));
+    EXPECT_FALSE(cfg.reachable(orphan));
+    EXPECT_EQ(cfg.rpo_index[orphan], -1);
+    EXPECT_EQ(cfg.idom[orphan], -1);
+    // LLVM convention: everything dominates an unreachable block.
+    EXPECT_TRUE(cfg.dominates(entry, orphan));
+    EXPECT_TRUE(cfg.dominates(exit, orphan));
+    // But the orphan dominates no reachable block (except vacuously
+    // itself), and never postdominates the entry.
+    EXPECT_FALSE(cfg.dominates(orphan, entry));
+    EXPECT_TRUE(cfg.dominates(orphan, orphan));
+    EXPECT_FALSE(cfg.postDominates(orphan, entry));
+}
+
+TEST(Cfg, SingleBlockSelfLoopPostdominatesOnlyItself)
+{
+    // entry -> loop; loop -> loop | exit. The self-loop block is on a
+    // cycle but still reaches the exit, so exit postdominates it; the
+    // loop block postdominates neither entry's other successors nor
+    // anything below it.
+    IrFunction f = IrBuilder::makeKernel("selfloop", {{"n", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto loop = b.block("loop");
+    auto exit = b.block("exit");
+
+    b.setInsertPoint(entry);
+    auto n = b.param(0);
+    b.jump(loop);
+
+    b.setInsertPoint(loop);
+    auto i = b.phi(Type::i64(), {{b.constInt(0), entry}});
+    auto next = b.iadd(i, b.constInt(1));
+    f.inst(i).ops.push_back(next);
+    f.inst(i).phi_blocks.push_back(loop);
+    auto cont = b.icmp(CmpOp::LT, next, n);
+    b.br(cont, loop, exit);
+
+    b.setInsertPoint(exit);
+    b.ret();
+
+    const analysis::Cfg cfg = analysis::Cfg::build(f);
+    EXPECT_TRUE(cfg.reaches_exit[loop]);
+    EXPECT_TRUE(cfg.dominates(loop, exit));
+    EXPECT_TRUE(cfg.postDominates(exit, loop));
+    EXPECT_TRUE(cfg.postDominates(loop, entry));
+    EXPECT_TRUE(cfg.postDominates(loop, loop));
+    EXPECT_FALSE(cfg.postDominates(entry, loop));
+    // The self edge must appear in both adjacency directions.
+    EXPECT_NE(std::find(cfg.succs[loop].begin(), cfg.succs[loop].end(),
+                        loop),
+              cfg.succs[loop].end());
+    EXPECT_NE(std::find(cfg.preds[loop].begin(), cfg.preds[loop].end(),
+                        loop),
+              cfg.preds[loop].end());
+}
+
+TEST(Cfg, InfiniteSelfLoopPostdominatedOnlyByItself)
+{
+    // entry -> spin; spin -> spin. No exit is reachable from spin.
+    IrFunction f = IrBuilder::makeKernel("spin", {});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto spin = b.block("spin");
+
+    b.setInsertPoint(entry);
+    b.jump(spin);
+    b.setInsertPoint(spin);
+    b.jump(spin);
+
+    const analysis::Cfg cfg = analysis::Cfg::build(f);
+    EXPECT_FALSE(cfg.reaches_exit[spin]);
+    EXPECT_EQ(cfg.ipdom[spin], -1);
+    EXPECT_TRUE(cfg.postDominates(spin, spin));
+    EXPECT_FALSE(cfg.postDominates(entry, spin));
+    EXPECT_FALSE(cfg.postDominates(spin, entry));
+}
+
+TEST(Cfg, PhiFreeDiamondMergePostdominatesBothArms)
+{
+    // entry -> {left, right} -> merge -> (ret). Neither arm carries a
+    // phi; dominance and postdominance must still see the diamond.
+    IrFunction f = IrBuilder::makeKernel("diamond", {{"n", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto left = b.block("left");
+    auto right = b.block("right");
+    auto merge = b.block("merge");
+
+    b.setInsertPoint(entry);
+    auto cond = b.icmp(CmpOp::LT, b.param(0), b.constInt(10));
+    b.br(cond, left, right);
+
+    b.setInsertPoint(left);
+    b.jump(merge);
+    b.setInsertPoint(right);
+    b.jump(merge);
+    b.setInsertPoint(merge);
+    b.ret();
+
+    const analysis::Cfg cfg = analysis::Cfg::build(f);
+    EXPECT_TRUE(cfg.dominates(entry, merge));
+    EXPECT_FALSE(cfg.dominates(left, merge));
+    EXPECT_FALSE(cfg.dominates(right, merge));
+    EXPECT_EQ(cfg.idom[merge], int(entry));
+    EXPECT_TRUE(cfg.postDominates(merge, entry));
+    EXPECT_TRUE(cfg.postDominates(merge, left));
+    EXPECT_TRUE(cfg.postDominates(merge, right));
+    EXPECT_FALSE(cfg.postDominates(left, entry));
+    EXPECT_FALSE(cfg.postDominates(right, entry));
+    // ipdom of both arms is the merge; ipdom of the merge is the
+    // virtual exit (-1).
+    EXPECT_EQ(cfg.ipdom[left], int(merge));
+    EXPECT_EQ(cfg.ipdom[right], int(merge));
+    EXPECT_EQ(cfg.ipdom[merge], -1);
 }
 
 } // namespace

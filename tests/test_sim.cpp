@@ -333,5 +333,99 @@ TEST(Sim, CudaFreeFaults)
     EXPECT_EQ(f->kind, FaultKind::DoubleFree);
 }
 
+TEST(Sim, BarrierUnderIntraWarpDivergenceFaults)
+{
+    // Odd lanes of each warp take the barrier, even lanes skip it: the
+    // warp arrives at BAR with a partial active mask, which on real
+    // hardware deadlocks or silently misbehaves. The engine must raise
+    // a BarrierDivergence fault with a diagnostic naming the warp.
+    IrFunction f = IrBuilder::makeKernel("divbar", {{"out", Type::ptr(4)}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto bar = b.block("bar");
+    auto done = b.block("done");
+
+    b.setInsertPoint(entry);
+    auto t = b.tid();
+    auto odd = b.icmp(CmpOp::EQ, b.iand(t, b.constInt(1)), b.constInt(1));
+    b.br(odd, bar, done);
+    b.setInsertPoint(bar);
+    b.barrier();
+    b.jump(done);
+    b.setInsertPoint(done);
+    b.store(b.gep(b.param(0), t), t);
+    b.ret();
+
+    Device dev;
+    const uint64_t out = dev.cudaMalloc(64 * 4);
+    const CompiledKernel k = dev.compile(module(std::move(f)), "divbar");
+    const RunResult r = dev.launch(k, 1, 32, {out});
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.faults[0].kind, FaultKind::BarrierDivergence);
+    EXPECT_NE(r.faults[0].detail.find("warp"), std::string::npos);
+}
+
+TEST(Sim, BarrierSkippedByOneWarpFaults)
+{
+    // Warp 0 (tid < 32) parks at a barrier; warp 1 runs straight to the
+    // exit. The block can never release the barrier — the engine must
+    // diagnose the exited-while-waiting hang instead of spinning.
+    IrFunction f = IrBuilder::makeKernel("skipbar", {{"out", Type::ptr(4)}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto bar = b.block("bar");
+    auto done = b.block("done");
+
+    b.setInsertPoint(entry);
+    auto t = b.tid();
+    auto low = b.icmp(CmpOp::LT, t, b.constInt(32));
+    b.br(low, bar, done);
+    b.setInsertPoint(bar);
+    b.barrier();
+    b.jump(done);
+    b.setInsertPoint(done);
+    b.store(b.gep(b.param(0), t), t);
+    b.ret();
+
+    Device dev;
+    const uint64_t out = dev.cudaMalloc(64 * 4);
+    const CompiledKernel k = dev.compile(module(std::move(f)), "skipbar");
+    const RunResult r = dev.launch(k, 1, 64, {out});
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.faults[0].kind, FaultKind::BarrierDivergence);
+    EXPECT_NE(r.faults[0].detail.find("exited"), std::string::npos);
+}
+
+TEST(Sim, UniformBarrierInBranchDoesNotFault)
+{
+    // All threads take the same (data-uniform) path to the barrier:
+    // no divergence, the launch completes normally.
+    IrFunction f = IrBuilder::makeKernel(
+        "unibar", {{"out", Type::ptr(4)}, {"flag", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto bar = b.block("bar");
+    auto done = b.block("done");
+
+    b.setInsertPoint(entry);
+    auto t = b.tid();
+    auto taken = b.icmp(CmpOp::EQ, b.param(1), b.constInt(1));
+    b.br(taken, bar, done);
+    b.setInsertPoint(bar);
+    b.barrier();
+    b.jump(done);
+    b.setInsertPoint(done);
+    b.store(b.gep(b.param(0), t), t);
+    b.ret();
+
+    Device dev;
+    const uint64_t out = dev.cudaMalloc(64 * 4);
+    const CompiledKernel k = dev.compile(module(std::move(f)), "unibar");
+    const RunResult r = dev.launch(k, 1, 64, {out, 1});
+    EXPECT_FALSE(r.faulted());
+    for (unsigned i = 0; i < 64; ++i)
+        ASSERT_EQ(dev.peek32(out + 4 * i), i);
+}
+
 } // namespace
 } // namespace lmi

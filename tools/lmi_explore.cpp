@@ -21,11 +21,21 @@
  *   lmi_explore trace <workload> <mechanism> [events]
  *       Capture an instruction trace (NVBit-style) and print the first
  *       N events plus the stream characterization.
- *   lmi_explore verify [--workloads a,b] [--json FILE]
+ *   lmi_explore verify [--workloads a,b] [--json FILE] [--severity S]
  *       Run the static-analysis pipeline (IR verifier, range analysis,
  *       lints) over every in-tree workload kernel, print diagnostics
  *       and per-kernel safety-classification counts, and exit non-zero
- *       when any error-severity diagnostic is found (CI gate).
+ *       when any diagnostic at or above the --severity threshold
+ *       (note|warning|error, default error) is found (CI gate).
+ *   lmi_explore races [--workloads a,b] [--seeded] [--dynamic]
+ *                     [--json FILE]
+ *       Run the barrier-aware static race/divergence analyzer over the
+ *       workload kernels (plus the deliberately race-seeded variants
+ *       with --seeded) and print per-kernel verdict counts. --dynamic
+ *       additionally executes each kernel under the simulator's race
+ *       sanitizer and reports the observed conflicts next to the
+ *       static verdicts. Exits non-zero when a clean kernel has a
+ *       ProvenRacy pair or divergent barrier (CI gate).
  *
  * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
  * sweep, security; 0 = all cores, default 1), `--cache DIR` points the
@@ -60,6 +70,9 @@ struct GlobalOpts
     std::string json_path;
     std::string workloads_filter;  ///< comma-separated names
     std::string mechanisms_filter; ///< comma-separated names
+    std::string severity = "error"; ///< verify exit-code threshold
+    bool seeded = false;  ///< races: include race-seeded variants
+    bool dynamic = false; ///< races: also run the dynamic sanitizer
 };
 
 std::vector<std::string>
@@ -96,6 +109,9 @@ usage()
         "  lmi_explore security <mechanism> [--jobs N]\n"
         "  lmi_explore trace <workload> <mechanism> [events]\n"
         "  lmi_explore verify [--workloads a,b] [--json FILE]\n"
+        "              [--severity note|warning|error]\n"
+        "  lmi_explore races [--workloads a,b] [--seeded] [--dynamic]\n"
+        "              [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --cache DIR\n");
     return 2;
 }
@@ -320,9 +336,35 @@ cmdSecurity(MechanismKind kind, const GlobalOpts& opts)
     return 0;
 }
 
+/** Version of the machine-readable output of verify/races; bump on any
+ *  field change so downstream CI parsers can detect drift. */
+constexpr int kDiagnosticsSchemaVersion = 2;
+
+bool
+severityFromName(const std::string& name, analysis::Severity* out)
+{
+    if (name == "note")
+        *out = analysis::Severity::Note;
+    else if (name == "warning")
+        *out = analysis::Severity::Warning;
+    else if (name == "error")
+        *out = analysis::Severity::Error;
+    else
+        return false;
+    return true;
+}
+
 int
 cmdVerify(const GlobalOpts& opts)
 {
+    analysis::Severity threshold;
+    if (!severityFromName(opts.severity, &threshold)) {
+        std::fprintf(stderr, "error: unknown severity %s "
+                             "(expected note|warning|error)\n",
+                     opts.severity.c_str());
+        return 2;
+    }
+
     std::vector<std::string> names;
     if (!opts.workloads_filter.empty())
         names = splitCommas(opts.workloads_filter);
@@ -333,8 +375,10 @@ cmdVerify(const GlobalOpts& opts)
     analysis::AnalysisOptions aopts;
     aopts.level = analysis::AnalysisLevel::Full;
 
-    size_t total_errors = 0, total_warnings = 0;
-    std::string json = "[";
+    size_t total_errors = 0, total_warnings = 0, over_threshold = 0;
+    std::string json = "{\n\"schema_version\": " +
+                       std::to_string(kDiagnosticsSchemaVersion) +
+                       ",\n\"kernels\": [";
     TextTable table({"workload", "proven safe", "violating", "unknown",
                      "diagnostics"});
     for (size_t i = 0; i < names.size(); ++i) {
@@ -348,6 +392,8 @@ cmdVerify(const GlobalOpts& opts)
         for (const auto& d : report.diagnostics) {
             if (d.severity == analysis::Severity::Warning)
                 ++warnings;
+            if (d.severity >= threshold)
+                ++over_threshold;
             std::printf("%s\n", d.toString().c_str());
         }
         total_errors += report.errors();
@@ -369,17 +415,132 @@ cmdVerify(const GlobalOpts& opts)
                 ", \"diagnostics\": " +
                 analysis::renderDiagnosticsJson(report.diagnostics) + "}";
     }
-    json += "\n]\n";
+    json += "\n]\n}\n";
 
     std::printf("%s", table.render().c_str());
-    std::printf("%zu kernels verified: %zu errors, %zu warnings\n",
-                names.size(), total_errors, total_warnings);
+    std::printf("%zu kernels verified: %zu errors, %zu warnings "
+                "(failing at severity >= %s: %zu)\n",
+                names.size(), total_errors, total_warnings,
+                analysis::severityName(threshold), over_threshold);
     if (!opts.json_path.empty()) {
         std::ofstream out(opts.json_path, std::ios::trunc);
         out << json;
         std::printf("wrote %s\n", opts.json_path.c_str());
     }
-    return total_errors ? 1 : 0;
+    return over_threshold ? 1 : 0;
+}
+
+int
+cmdRaces(const GlobalOpts& opts)
+{
+    // The work list: every (filtered) clean profile, plus the seeded
+    // variants when asked. Clean kernels gate the exit code; seeded
+    // ones are expected to be flagged and never fail the run.
+    struct Item
+    {
+        std::string name;
+        WorkloadProfile profile;
+        RaceSeed seed = RaceSeed::None;
+    };
+    std::vector<Item> items;
+    if (!opts.workloads_filter.empty()) {
+        for (const std::string& name : splitCommas(opts.workloads_filter))
+            items.push_back({name, findWorkload(name), RaceSeed::None});
+    } else {
+        for (const auto& profile : workloadSuite())
+            items.push_back({profile.name, profile, RaceSeed::None});
+    }
+    if (opts.seeded)
+        for (const SeededWorkload& sw : raceSeededVariants())
+            items.push_back({sw.name, sw.profile, sw.seed});
+
+    size_t clean_flagged = 0;
+    std::string json = "{\n\"schema_version\": " +
+                       std::to_string(kDiagnosticsSchemaVersion) +
+                       ",\n\"kernels\": [";
+    std::vector<std::string> header = {"workload", "pairs", "racy",
+                                       "disjoint", "unknown", "div.bar"};
+    if (opts.dynamic)
+        header.push_back("dynamic conflicts");
+    TextTable table(header);
+
+    for (size_t i = 0; i < items.size(); ++i) {
+        const Item& item = items[i];
+        const ir::IrModule m =
+            buildWorkloadKernel(item.profile, item.seed);
+        const ir::IrFunction flat =
+            inlineCalls(m, *m.find(item.profile.name));
+        analysis::RaceAnalysisOptions ropts;
+        ropts.block_threads = item.profile.block_threads;
+        ropts.grid_blocks = item.profile.grid_blocks;
+        const analysis::RaceReport report =
+            analysis::analyzeRaces(flat, ropts);
+
+        for (const auto& d : report.diagnostics)
+            std::printf("%s\n", d.toString().c_str());
+
+        const bool flagged =
+            report.provenRacy() || !report.divergent_barriers.empty();
+        if (item.seed == RaceSeed::None && flagged)
+            ++clean_flagged;
+
+        size_t dynamic_conflicts = 0;
+        if (opts.dynamic) {
+            // Execute the same kernel under the sanitizer; a divergent
+            // barrier faults the launch, which counts as "flagged".
+            Device dev;
+            RaceSanitizer sanitizer;
+            const WorkloadRun run =
+                runWorkload(dev, item.profile, 0.25, item.seed,
+                            &sanitizer);
+            dynamic_conflicts = sanitizer.conflictCount();
+            for (size_t r = 0;
+                 r < std::min<size_t>(sanitizer.reports().size(), 2); ++r)
+                std::printf("  dynamic: %s\n",
+                            sanitizer.reports()[r].toString().c_str());
+            if (run.result.faulted())
+                std::printf("  dynamic: fault: %s\n",
+                            run.result.faults[0].detail.c_str());
+        }
+
+        std::vector<std::string> row = {
+            item.name, std::to_string(report.pairs.size()),
+            std::to_string(report.provenRacy()),
+            std::to_string(report.provenDisjoint()),
+            std::to_string(report.unknown()),
+            std::to_string(report.divergent_barriers.size())};
+        if (opts.dynamic)
+            row.push_back(std::to_string(dynamic_conflicts));
+        table.addRow(row);
+
+        if (i)
+            json += ",";
+        json += "\n  {\"workload\": \"" + analysis::jsonEscape(item.name) +
+                "\", \"seed\": \"" + raceSeedName(item.seed) +
+                "\", \"pairs\": " + std::to_string(report.pairs.size()) +
+                ", \"racy\": " + std::to_string(report.provenRacy()) +
+                ", \"disjoint\": " +
+                std::to_string(report.provenDisjoint()) +
+                ", \"unknown\": " + std::to_string(report.unknown()) +
+                ", \"divergent_barriers\": " +
+                std::to_string(report.divergent_barriers.size());
+        if (opts.dynamic)
+            json += ", \"dynamic_conflicts\": " +
+                    std::to_string(dynamic_conflicts);
+        json += ", \"diagnostics\": " +
+                analysis::renderDiagnosticsJson(report.diagnostics) + "}";
+    }
+    json += "\n]\n}\n";
+
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu kernels analyzed, %zu clean kernels flagged\n",
+                items.size(), clean_flagged);
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << json;
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return clean_flagged ? 1 : 0;
 }
 
 int
@@ -433,8 +594,13 @@ main(int argc, char** argv)
                  flagValue("--csv", &opts.csv_path) ||
                  flagValue("--json", &opts.json_path) ||
                  flagValue("--workloads", &opts.workloads_filter) ||
-                 flagValue("--mechanisms", &opts.mechanisms_filter))
+                 flagValue("--mechanisms", &opts.mechanisms_filter) ||
+                 flagValue("--severity", &opts.severity))
             ;
+        else if (arg == "--seeded")
+            opts.seeded = true;
+        else if (arg == "--dynamic")
+            opts.dynamic = true;
         else
             args.push_back(arg);
     }
@@ -479,6 +645,8 @@ main(int argc, char** argv)
         }
         if (cmd == "verify")
             return cmdVerify(opts);
+        if (cmd == "races")
+            return cmdRaces(opts);
         if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
             if (!mechanismFromName(args[1], &kind))
