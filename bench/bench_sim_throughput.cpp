@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tracked simulator-throughput benchmark: how many GPU cycles the
+ * simulator retires per wall-clock second, and at what memory cost.
+ *
+ * Runs a fixed basket of Table V workloads under the baseline and every
+ * Fig. 12 mechanism (serially by default, so the rate is not a function
+ * of host core count), then reports per-mechanism and aggregate
+ * simulation rate (million simulated cycles per second) plus the
+ * process peak RSS, and writes the numbers to a JSON file
+ * (BENCH_sim_throughput.json by default — the committed copy at the
+ * repo root is the tracked baseline).
+ *
+ * Regression mode: `--check FILE [--tolerance PCT]` re-measures and
+ * exits non-zero when the aggregate rate fell more than PCT percent
+ * (default 30) below the rate recorded in FILE. CI's perf-smoke job
+ * runs exactly that against the committed baseline.
+ *
+ * usage: bench_sim_throughput [scale] [--jobs N] [--out FILE]
+ *                             [--check FILE] [--tolerance PCT]
+ */
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "mechanisms/registry.hpp"
+#include "runner/experiment_runner.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace lmi;
+
+namespace {
+
+/** Fixed basket: scattered (bfs), integer-dense (gaussian),
+ *  shared-heavy (needle), stencil (hotspot), and one DNN inference
+ *  profile (bert) — small enough for CI, diverse enough that a
+ *  regression in any hot path (ALU, memory, scheduler) shows up. */
+const char* const kBasket[] = {"bfs", "gaussian", "hotspot", "needle",
+                               "bert"};
+
+struct MechRate
+{
+    uint64_t cycles = 0;
+    double wall_ms = 0.0;
+
+    double
+    mcps() const
+    {
+        return wall_ms > 0.0 ? double(cycles) / wall_ms / 1000.0 : 0.0;
+    }
+};
+
+long
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss; // KiB on Linux
+}
+
+/** Pull "aggregate_mcycles_per_sec": <num> out of a baseline JSON with
+ *  a plain scan — the file is our own flat rendering, not arbitrary
+ *  JSON. Returns 0 when absent/unreadable. */
+double
+baselineRate(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0.0;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+    const char* key = "\"aggregate_mcycles_per_sec\":";
+    const size_t pos = s.find(key);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(s.c_str() + pos + std::strlen(key), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    double scale = 1.0;
+    unsigned jobs = 1;
+    std::string out_path = "BENCH_sim_throughput.json";
+    std::string check_path;
+    double tolerance = 30.0;
+    bool scale_seen = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = unsigned(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else if (!scale_seen) {
+            scale = std::atof(argv[i]);
+            scale_seen = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [scale] [--jobs N] [--out FILE] "
+                         "[--check FILE] [--tolerance PCT]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner("Simulator throughput",
+                  "simulated Mcycles per wall-clock second");
+
+    SweepSpec spec;
+    for (const char* w : kBasket)
+        spec.workloads.push_back(w);
+    spec.mechanisms.push_back(MechanismKind::Baseline);
+    for (MechanismKind kind : hardwareComparisonMechanisms())
+        spec.mechanisms.push_back(kind);
+    spec.scales = {scale};
+    spec.jobs = jobs;
+    // Never cached: the whole point is to measure fresh simulation.
+
+    const SweepResult sweep = runSweep(spec);
+    if (sweep.failures) {
+        std::fprintf(stderr, "error: %zu cell(s) failed\n",
+                     sweep.failures);
+        return 1;
+    }
+
+    // std::map: deterministic mechanism order in table and JSON.
+    std::map<std::string, MechRate> rates;
+    MechRate total;
+    for (const CellResult& cell : sweep.cells) {
+        MechRate& r = rates[mechanismKindName(cell.mechanism)];
+        r.cycles += cell.result.cycles;
+        r.wall_ms += cell.wall_ms;
+        total.cycles += cell.result.cycles;
+        total.wall_ms += cell.wall_ms;
+    }
+
+    TextTable table({"mechanism", "cycles", "wall_ms",
+                     "mcycles_per_sec"});
+    for (const auto& [name, r] : rates)
+        table.addRow({name, std::to_string(r.cycles), fmtF(r.wall_ms, 1),
+                      fmtF(r.mcps(), 2)});
+    table.addRow({"TOTAL", std::to_string(total.cycles),
+                  fmtF(total.wall_ms, 1), fmtF(total.mcps(), 2)});
+    std::printf("%s", table.render().c_str());
+
+    const long rss_kb = peakRssKb();
+    std::printf("\npeak RSS: %.1f MB\n", double(rss_kb) / 1024.0);
+
+    // Read the reference rate before writing: --out and --check may
+    // name the same file (refreshing the tracked baseline in place).
+    const double base =
+        check_path.empty() ? 0.0 : baselineRate(check_path);
+
+    std::ofstream out(out_path, std::ios::trunc);
+    out << "{\n";
+    out << "  \"scale\": " << scale << ",\n";
+    out << "  \"jobs\": " << jobs << ",\n";
+    out << "  \"workloads\": [";
+    for (size_t i = 0; i < std::size(kBasket); ++i)
+        out << (i ? ", " : "") << '"' << kBasket[i] << '"';
+    out << "],\n";
+    out << "  \"mechanisms\": {\n";
+    size_t n = 0;
+    for (const auto& [name, r] : rates) {
+        out << "    \"" << name << "\": {\"cycles\": " << r.cycles
+            << ", \"wall_ms\": " << fmtF(r.wall_ms, 3)
+            << ", \"mcycles_per_sec\": " << fmtF(r.mcps(), 3) << "}"
+            << (++n < rates.size() ? "," : "") << "\n";
+    }
+    out << "  },\n";
+    out << "  \"aggregate_cycles\": " << total.cycles << ",\n";
+    out << "  \"aggregate_wall_ms\": " << fmtF(total.wall_ms, 3) << ",\n";
+    out << "  \"aggregate_mcycles_per_sec\": " << fmtF(total.mcps(), 3)
+        << ",\n";
+    out << "  \"peak_rss_kb\": " << rss_kb << "\n";
+    out << "}\n";
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!check_path.empty()) {
+        if (base <= 0.0) {
+            std::fprintf(stderr,
+                         "error: no aggregate_mcycles_per_sec in %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        const double floor = base * (1.0 - tolerance / 100.0);
+        std::printf("regression check: %.2f Mc/s vs baseline %.2f "
+                    "(floor %.2f, tolerance %.0f%%)\n",
+                    total.mcps(), base, floor, tolerance);
+        if (total.mcps() < floor) {
+            std::fprintf(stderr,
+                         "error: throughput regressed more than %.0f%%\n",
+                         tolerance);
+            return 1;
+        }
+    }
+    return 0;
+}

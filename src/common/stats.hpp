@@ -27,6 +27,15 @@ class StatRegistry
     /** Add @p delta to counter @p name (creating it at zero). */
     void inc(const std::string& name, uint64_t delta = 1);
 
+    /**
+     * Stable reference to a counter's storage (creating it at zero).
+     *
+     * Hot-path components cache the returned address instead of paying a
+     * name lookup per event; map nodes are stable, so the pointer stays
+     * valid until clear().
+     */
+    uint64_t& slot(const std::string& name) { return counters_[name]; }
+
     /** Set gauge @p name to @p value. */
     void set(const std::string& name, double value);
 
@@ -51,6 +60,29 @@ class StatRegistry
   private:
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, double> gauges_;
+};
+
+/**
+ * A lazily bound pointer to one StatRegistry counter.
+ *
+ * bump() costs a test-and-increment after the first event instead of a
+ * per-event map lookup. Binding lazily (on the first bump) preserves the
+ * registry's reporting semantics: a counter exists only if its event ever
+ * fired.
+ */
+class StatSlot
+{
+  public:
+    void
+    bump(StatRegistry& reg, const char* name, uint64_t delta = 1)
+    {
+        if (!counter_)
+            counter_ = &reg.slot(name);
+        *counter_ += delta;
+    }
+
+  private:
+    uint64_t* counter_ = nullptr;
 };
 
 /**

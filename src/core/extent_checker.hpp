@@ -66,7 +66,7 @@ class ExtentChecker
     check(uint64_t ptr, PoisonCause cause = PoisonCause::Unknown)
     {
         if (stats_)
-            stats_->inc("ec.checks");
+            checks_.bump(*stats_, "ec.checks");
 
         const uint64_t addr = PointerCodec::addressOf(ptr);
         if (PointerCodec::isDereferenceable(ptr))
@@ -80,7 +80,7 @@ class ExtentChecker
             cause = PoisonCause::Spatial;
 
         if (stats_)
-            stats_->inc("ec.faults");
+            faults_.bump(*stats_, "ec.faults");
         Fault fault;
         fault.address = addr;
         switch (cause) {
@@ -106,6 +106,8 @@ class ExtentChecker
 
   private:
     StatRegistry* stats_;
+    StatSlot checks_;
+    StatSlot faults_;
     bool sub_extents_ = false;
 };
 

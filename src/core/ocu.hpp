@@ -89,7 +89,7 @@ class Ocu
     check(uint64_t ptr_in, uint64_t alu_out)
     {
         if (stats_)
-            stats_->inc("ocu.checks");
+            checks_.bump(*stats_, "ocu.checks");
 
         const unsigned e = PointerCodec::extentOf(ptr_in);
         if (sub_extents_ && isSubExtent(e)) {
@@ -99,7 +99,7 @@ class Ocu
                 ~lowMask(kSubExtentLog2Base + (e - kSubExtentBase));
             if (((ptr_in ^ alu_out) & mask) != 0) {
                 if (stats_)
-                    stats_->inc("ocu.violations");
+                    violations_.bump(*stats_, "ocu.violations");
                 return {PointerCodec::poison(alu_out, kPoisonSpatial),
                         true};
             }
@@ -109,7 +109,7 @@ class Ocu
             // Invalid/poisoned pointers propagate their marker:
             // arithmetic on them never revalidates the result.
             if (stats_)
-                stats_->inc("ocu.invalid_input");
+                invalid_input_.bump(*stats_, "ocu.invalid_input");
             return {PointerCodec::poison(alu_out, e), false};
         }
 
@@ -118,7 +118,7 @@ class Ocu
         const uint64_t diff = (ptr_in ^ alu_out) & mask;
         if (diff != 0) {
             if (stats_)
-                stats_->inc("ocu.violations");
+                violations_.bump(*stats_, "ocu.violations");
             // Delayed termination: record the cause in the repurposed
             // debug extent (§IV-A3) instead of faulting here.
             return {PointerCodec::poison(alu_out, kPoisonSpatial), true};
@@ -132,6 +132,9 @@ class Ocu
   private:
     PointerCodec codec_;
     StatRegistry* stats_;
+    StatSlot checks_;
+    StatSlot violations_;
+    StatSlot invalid_input_;
     bool sub_extents_ = false;
 };
 

@@ -58,10 +58,12 @@ GpuShieldMechanism::onMemAccess(const MemAccess& access)
                     result.serialize_cycles =
                         options_.miss_fill_occupancy;
                     if (state_.stats)
-                        state_.stats->inc("gpushield.rcache_misses");
+                        misses_.bump(*state_.stats,
+                                     "gpushield.rcache_misses");
                 }
                 if (state_.stats)
-                    state_.stats->inc("gpushield.rcache_probes");
+                    probes_.bump(*state_.stats,
+                                 "gpushield.rcache_probes");
 
                 const Bounds& b = it->second;
                 if (addr < b.base || addr + access.width > b.base + b.size) {

@@ -19,6 +19,7 @@
 
 #include <unordered_map>
 
+#include "common/stats.hpp"
 #include "sim/cache.hpp"
 #include "sim/mechanism.hpp"
 
@@ -74,6 +75,8 @@ class GpuShieldMechanism : public ProtectionMechanism
     /** Per-buffer last-touched granule (sequential-prefetch detector). */
     std::unordered_map<uint64_t, uint64_t> last_granule_;
     uint64_t next_id_ = 1;
+    StatSlot probes_;
+    StatSlot misses_;
 };
 
 } // namespace lmi

@@ -90,7 +90,7 @@ LmiMechanism::onIntResult(const Instruction& inst, uint64_t ptr_in,
         // one; the OCU power-gates the check (E hint bit).
         (void)ptr_in;
         if (state_.stats)
-            state_.stats->inc("ocu.checks_elided");
+            elided_.bump(*state_.stats, "ocu.checks_elided");
         return out;
     }
     return ocu_.check(ptr_in, out).out;

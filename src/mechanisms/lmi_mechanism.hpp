@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include "common/stats.hpp"
 #include "core/extent_checker.hpp"
 #include "core/liveness.hpp"
 #include "core/ocu.hpp"
@@ -96,6 +97,7 @@ class LmiMechanism : public ProtectionMechanism
     Ocu ocu_;
     ExtentChecker ec_;
     std::optional<LivenessTracker> liveness_;
+    StatSlot elided_;
 };
 
 } // namespace lmi

@@ -208,6 +208,7 @@ runSweep(const SweepSpec& spec)
     sweep.cells.resize(cells.size());
     SharedStatRegistry totals;
     std::atomic<size_t> cache_hits{0};
+    std::atomic<size_t> cache_misses{0};
 
     std::vector<std::function<void()>> jobs;
     jobs.reserve(cells.size());
@@ -220,11 +221,14 @@ runSweep(const SweepSpec& spec)
             out.scale = cell.scale;
             out.fingerprint = cellFingerprint(cell);
 
-            if (cache && cache->load(out.fingerprint, &out)) {
-                out.from_cache = true;
-                ++cache_hits;
-                totals.merge(out.device_stats);
-                return;
+            if (cache) {
+                if (cache->load(out.fingerprint, &out)) {
+                    out.from_cache = true;
+                    ++cache_hits;
+                    totals.merge(out.device_stats);
+                    return;
+                }
+                ++cache_misses; // absent, stale, or truncated entry
             }
 
             Device dev(cell.config, makeMechanism(cell.mechanism));
@@ -267,6 +271,7 @@ runSweep(const SweepSpec& spec)
             ++sweep.timeouts;
     }
     sweep.cache_hits = cache_hits.load();
+    sweep.cache_misses = cache_misses.load();
     sweep.totals = totals.snapshot();
     sweep.wall_ms = msSince(sweep_start);
     return sweep;

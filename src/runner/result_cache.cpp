@@ -1,11 +1,13 @@
 #include "runner/result_cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/logging.hpp"
 
@@ -44,9 +46,16 @@ ResultCache::load(uint64_t fingerprint, CellResult* out) const
 void
 ResultCache::store(const CellResult& cell) const
 {
+    // Publish atomically: write to a name no other writer can pick
+    // (pid for concurrent sweeps sharing the directory, a process-wide
+    // counter for concurrent workers of this sweep), then rename over
+    // the entry. A killed or racing writer can leave at most a stale
+    // .tmp file, never a truncated entry that poisons later runs.
+    static std::atomic<uint64_t> seq{0};
     const std::string path = entryPath(cell.fingerprint);
     std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    tmp_name << path << ".tmp." << getpid() << '.'
+             << seq.fetch_add(1, std::memory_order_relaxed);
     const std::string tmp = tmp_name.str();
     {
         std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);

@@ -13,8 +13,11 @@ namespace lmi {
 namespace {
 
 /** Bump when the serialized payload layout changes: old cache entries
- *  then miss on fingerprint and get re-simulated. */
-constexpr uint64_t kCellFormatVersion = 1;
+ *  then miss on fingerprint and get re-simulated.
+ *  v2: payload carries a trailing "end=1" sentinel so truncated files
+ *  (a killed writer, a partially synced disk) are rejected instead of
+ *  silently deserializing a prefix. */
+constexpr uint64_t kCellFormatVersion = 2;
 
 constexpr const char* kMagic = "lmi-cell-v1";
 
@@ -162,6 +165,9 @@ serializeCellPayload(const CellResult& cell)
     for (const auto& [name, v] : cell.device_stats.gauges())
         out << "dstat.g." << name << '=' << fmtDouble(v) << '\n';
     out << "peak_reserved=" << cell.peak_reserved << '\n';
+    // Must stay the last line: the deserializer treats a payload
+    // without it as truncated.
+    out << "end=1\n";
     return out.str();
 }
 
@@ -176,6 +182,7 @@ deserializeCellPayload(const std::string& text, uint64_t expect_fp,
 
     CellResult cell;
     bool fp_seen = false;
+    bool end_seen = false;
     auto u64field = [](const std::string& v) {
         return std::strtoull(v.c_str(), nullptr, 10);
     };
@@ -258,11 +265,13 @@ deserializeCellPayload(const std::string& text, uint64_t expect_fp,
                                   std::strtod(value.c_str(), nullptr));
         } else if (key == "peak_reserved") {
             cell.peak_reserved = u64field(value);
+        } else if (key == "end") {
+            end_seen = value == "1"; // "end=" alone is a cut-off write
         }
         // Unknown keys are skipped: newer writers stay readable.
     }
-    if (!fp_seen)
-        return false;
+    if (!fp_seen || !end_seen)
+        return false; // missing sentinel: truncated or foreign payload
     *out = std::move(cell);
     return true;
 }
@@ -288,7 +297,8 @@ SweepResult::renderCsv() const
                      "thread_instructions", "ldg", "stg", "lds", "sts",
                      "ldl", "stl", "l1_hits", "l1_misses", "l2_hits",
                      "l2_misses", "dram_accesses", "faults",
-                     "peak_reserved", "wall_ms", "error"});
+                     "peak_reserved", "wall_ms", "mcycles_per_sec",
+                     "error"});
     for (const CellResult& c : cells) {
         const RunResult& r = c.result;
         table.addRow({c.workload, mechanismKindName(c.mechanism),
@@ -307,7 +317,7 @@ SweepResult::renderCsv() const
                       std::to_string(r.dram_accesses),
                       std::to_string(r.faults.size()),
                       std::to_string(c.peak_reserved), fmtF(c.wall_ms, 3),
-                      c.error});
+                      fmtF(c.simMcps(), 3), c.error});
     }
     return table.renderCsv();
 }
@@ -330,7 +340,8 @@ SweepResult::renderJson() const
             << ", \"instructions\": " << r.instructions
             << ", \"thread_instructions\": " << r.thread_instructions
             << ", \"peak_reserved\": " << c.peak_reserved
-            << ", \"wall_ms\": " << fmtDouble(c.wall_ms);
+            << ", \"wall_ms\": " << fmtDouble(c.wall_ms)
+            << ", \"mcycles_per_sec\": " << fmtDouble(c.simMcps());
         if (!c.error.empty())
             out << ", \"error\": \"" << jsonEscape(c.error) << "\"";
         if (!r.faults.empty()) {
@@ -365,6 +376,7 @@ SweepResult::renderJson() const
     }
     out << "  ],\n";
     out << "  \"cache_hits\": " << cache_hits << ",\n";
+    out << "  \"cache_misses\": " << cache_misses << ",\n";
     out << "  \"failures\": " << failures << ",\n";
     out << "  \"timeouts\": " << timeouts << ",\n";
     out << "  \"wall_ms\": " << fmtDouble(wall_ms) << "\n";

@@ -81,6 +81,16 @@ struct CellResult
      *  deterministic payload). */
     double wall_ms = 0.0;
 
+    /** Simulation rate in million cycles per wall-clock second — the
+     *  sweep's throughput figure of merit. 0 for cached cells (their
+     *  wall clock measures a file read, not simulation). */
+    double simMcps() const
+    {
+        return !from_cache && ok && wall_ms > 0.0
+                   ? double(result.cycles) / wall_ms / 1000.0
+                   : 0.0;
+    }
+
     bool faulted() const { return result.faulted(); }
 };
 
@@ -101,6 +111,9 @@ struct SweepResult
 {
     std::vector<CellResult> cells;
     size_t cache_hits = 0;
+    /** Cells simulated because the cache had no (valid) entry. Stays 0
+     *  when the sweep ran without a cache directory. */
+    size_t cache_misses = 0;
     size_t failures = 0;
     size_t timeouts = 0;
     double wall_ms = 0.0;

@@ -59,7 +59,12 @@ struct GpuSim::Warp
     uint64_t pc = 0;
     uint32_t active = 0;       ///< current-path mask
     uint32_t exited = 0;
-    std::vector<uint64_t> regs;           ///< lanes x nregs
+    uint16_t rstride = 32;     ///< register-file row stride (= warp size)
+    uint32_t local_slot = 0;   ///< local-arena slot (lane memories)
+    SparseMemory* shared = nullptr; ///< this block's shared-arena slot
+    /** Register file, register-major (SoA): row r holds all lanes of r,
+     *  so the per-instruction lane loop walks contiguous memory. */
+    std::vector<uint64_t> regs;
     std::array<uint32_t, kNumPredRegs> preds{};
     std::vector<uint64_t> reg_ready;      ///< per-register ready cycle
     std::array<uint64_t, kNumPredRegs> pred_ready{};
@@ -73,13 +78,21 @@ struct GpuSim::Warp
     uint64_t&
     reg(unsigned lane, unsigned r)
     {
-        return regs[size_t(lane) * reg_ready.size() + r];
+        return regs[size_t(r) * rstride + lane];
     }
 
     uint64_t
     regv(unsigned lane, unsigned r) const
     {
-        return regs[size_t(lane) * reg_ready.size() + r];
+        return regs[size_t(r) * rstride + lane];
+    }
+
+    uint64_t* regRow(unsigned r) { return regs.data() + size_t(r) * rstride; }
+
+    const uint64_t*
+    regRow(unsigned r) const
+    {
+        return regs.data() + size_t(r) * rstride;
     }
 };
 
@@ -88,6 +101,8 @@ struct GpuSim::BlockCtx
     uint32_t block_id = 0;
     unsigned num_warps = 0;
     unsigned done_warps = 0;
+    uint32_t first_warp = 0;   ///< index of the block's first warp in SmCtx
+    uint32_t shared_slot = 0;  ///< shared-arena slot backing this block
 };
 
 struct GpuSim::SmCtx
@@ -105,11 +120,77 @@ struct GpuSim::SmCtx
     std::vector<Warp> warps;              ///< resident warps
     std::vector<BlockCtx> blocks;         ///< resident blocks
     std::vector<int> last_issued;         ///< per scheduler: warp index
+    /** Per-scheduler ascending indices of not-yet-done warps. Done
+     *  entries are skipped during scans and pruned at block retirement,
+     *  so scheduler walks stay O(resident) instead of O(ever admitted). */
+    std::vector<std::vector<uint32_t>> sched_live;
+    /** Per scheduler: earliest cycle any of its warps can issue, set
+     *  by a full scan that found nothing ready. While it lies in the
+     *  future the scheduler is skipped outright — warp readiness only
+     *  moves earlier on barrier release or block admission, both of
+     *  which clear the whole array. */
+    std::vector<uint64_t> sched_sleep;
+    unsigned live_warps = 0;       ///< warps admitted and not done
+    unsigned at_barrier_warps = 0; ///< warps parked on a barrier
+    bool retire_pending = false;   ///< some block completed all warps
 
     SmCtx(const GpuConfig& cfg)
         : l1(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes),
-          last_issued(cfg.schedulers_per_sm, -1)
+          last_issued(cfg.schedulers_per_sm, -1),
+          sched_live(cfg.schedulers_per_sm),
+          sched_sleep(cfg.schedulers_per_sm, 0)
     {
+    }
+};
+
+/**
+ * Predecoded per-instruction metadata: operand kinds (with constant-bank
+ * reads folded — the bank is written once at launch), scoreboard source
+ * registers, and the destination/guard fields the readiness check needs.
+ * Built once per launch so the issue path never re-inspects Operands.
+ */
+struct GpuSim::InstDesc
+{
+    struct Src
+    {
+        enum class K : uint8_t { Const, Reg, Special };
+        K kind = K::Const;
+        uint16_t reg = 0;
+        SpecialReg sr = SpecialReg::TidX;
+        uint64_t constv = 0;
+    };
+
+    /** Issue-path dispatch class: control, memory, or ALU datapath. */
+    enum class Kind : uint8_t { Ctrl, Mem, Alu };
+
+    Src src[kMaxSrcs];
+    int16_t src_reg[kMaxSrcs] = {-1, -1, -1}; ///< scoreboard reads
+    int16_t dst = -1;
+    int16_t guard_pred = -1;
+    Kind kind = Kind::Alu;
+    bool is_isetp = false;
+    bool is_mem = false;
+    bool is_store = false;
+    MemSpace space = MemSpace::Global; ///< valid when is_mem
+    unsigned alu_latency = 0;          ///< base latency for the ALU path
+};
+
+/**
+ * One source operand resolved against a concrete warp: either a pointer
+ * to a register-major row, or a lane-affine value base + stride * lane
+ * (every SpecialReg is affine in the lane index; immediates and c-bank
+ * reads are the stride-0 case).
+ */
+struct GpuSim::ResolvedSrc
+{
+    const uint64_t* row = nullptr;
+    uint64_t base = 0;
+    uint64_t stride = 0;
+
+    uint64_t
+    get(unsigned lane) const
+    {
+        return row ? row[lane] : base + stride * lane;
     }
 };
 
@@ -166,11 +247,129 @@ GpuSim::GpuSim(const GpuConfig& config, ProtectionMechanism& mech,
     for (size_t i = 0; i < launch_.params.size(); ++i)
         std::memcpy(cbank_.data() + Program::kParamBase + 8 * i,
                     &launch_.params[i], 8);
+
+    buildDecodeTable();
+
+    // Flat memory arenas: residency bounds cap live blocks/warps, and SMs
+    // run one after another, so one dense slot pool serves the launch.
+    shared_arena_.resize(config_.max_blocks_per_sm);
+    shared_free_.reserve(shared_arena_.size());
+    for (uint32_t s = 0; s < shared_arena_.size(); ++s)
+        shared_free_.push_back(s);
+    local_arena_.resize(size_t(config_.max_warps_per_sm) *
+                        config_.warp_size);
+    local_free_.reserve(config_.max_warps_per_sm);
+    for (uint32_t s = 0; s < config_.max_warps_per_sm; ++s)
+        local_free_.push_back(s);
+}
+
+GpuSim::~GpuSim() = default;
+
+void
+GpuSim::buildDecodeTable()
+{
+    idesc_.resize(program_.code.size());
+    for (size_t i = 0; i < program_.code.size(); ++i) {
+        const Instruction& inst = program_.code[i];
+        InstDesc& d = idesc_[i];
+        for (unsigned s = 0; s < kMaxSrcs; ++s) {
+            const Operand& op = inst.src[s];
+            InstDesc::Src& ds = d.src[s];
+            switch (op.kind) {
+              case Operand::Kind::None:
+                break; // Const 0
+              case Operand::Kind::Reg:
+                ds.kind = InstDesc::Src::K::Reg;
+                ds.reg = uint16_t(op.value);
+                d.src_reg[s] = int16_t(op.value);
+                break;
+              case Operand::Kind::Imm:
+                ds.constv = op.value;
+                break;
+              case Operand::Kind::CBank: {
+                uint64_t v = 0;
+                if (op.value + 8 <= cbank_.size())
+                    std::memcpy(&v, cbank_.data() + op.value, 8);
+                ds.constv = v;
+                break;
+              }
+              case Operand::Kind::Special:
+                ds.kind = InstDesc::Src::K::Special;
+                ds.sr = SpecialReg(op.value);
+                break;
+            }
+        }
+        d.dst = int16_t(inst.dst);
+        d.guard_pred = int16_t(inst.guard_pred);
+        d.is_isetp = inst.op == Opcode::ISETP;
+        d.is_mem = isMemory(inst.op);
+        if (d.is_mem) {
+            d.is_store = isStore(inst.op);
+            d.space = memSpaceOf(inst.op);
+        }
+        switch (inst.op) {
+          case Opcode::BRA:
+          case Opcode::EXIT:
+          case Opcode::TRAP:
+          case Opcode::BAR:
+          case Opcode::NOP:
+          case Opcode::RET:
+          case Opcode::MALLOC:
+          case Opcode::FREE:
+            d.kind = InstDesc::Kind::Ctrl;
+            break;
+          default:
+            d.kind = d.is_mem ? InstDesc::Kind::Mem : InstDesc::Kind::Alu;
+            break;
+        }
+        d.alu_latency = isFpAlu(inst.op)
+                            ? (inst.op == Opcode::MUFU
+                                   ? config_.sfu_latency
+                                   : config_.fp_latency)
+                            : config_.int_latency;
+    }
 }
 
 // ---------------------------------------------------------------------
 // Operand evaluation
 // ---------------------------------------------------------------------
+
+GpuSim::ResolvedSrc
+GpuSim::resolveSrc(const Warp& warp, const InstDesc& d, unsigned idx) const
+{
+    const InstDesc::Src& s = d.src[idx];
+    ResolvedSrc r;
+    switch (s.kind) {
+      case InstDesc::Src::K::Const:
+        r.base = s.constv;
+        break;
+      case InstDesc::Src::K::Reg:
+        r.row = warp.regs.data() + size_t(s.reg) * warp.rstride;
+        break;
+      case InstDesc::Src::K::Special:
+        switch (s.sr) {
+          case SpecialReg::TidX:
+            r.base = uint64_t(warp.warp_in_block) * config_.warp_size;
+            r.stride = 1;
+            break;
+          case SpecialReg::TidY:      break;
+          case SpecialReg::CtaIdX:    r.base = warp.block; break;
+          case SpecialReg::CtaIdY:    break;
+          case SpecialReg::NTidX:     r.base = launch_.block_threads; break;
+          case SpecialReg::NTidY:     r.base = 1; break;
+          case SpecialReg::NCtaIdX:   r.base = launch_.grid_blocks; break;
+          case SpecialReg::LaneId:    r.stride = 1; break;
+          case SpecialReg::WarpId:    r.base = warp.warp_in_block; break;
+          case SpecialReg::SmId:      break;
+          case SpecialReg::GlobalTid:
+            r.base = warp.first_gtid;
+            r.stride = 1;
+            break;
+        }
+        break;
+    }
+    return r;
+}
 
 uint64_t
 GpuSim::operandValue(const Warp& warp, unsigned lane,
@@ -225,8 +424,9 @@ GpuSim::recordFault(const Fault& fault)
 void
 GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 {
-    const MemSpace space = memSpaceOf(inst.op);
-    const bool is_store = isStore(inst.op);
+    const InstDesc& d = idesc_[warp.pc];
+    const MemSpace space = d.space;
+    const bool is_store = d.is_store;
     const unsigned addr_reg = unsigned(inst.src[0].value);
     const uint64_t frame_base = config_.stack_top - program_.frame_bytes;
     const uint64_t shared_limit =
@@ -234,26 +434,37 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 
     unsigned extra = 0;
     unsigned serialized = 0;
-    std::vector<uint64_t> lines;
+    std::vector<uint64_t>& lines = lines_scratch_;
+    lines.clear();
 
     const uint64_t total_threads =
         uint64_t(launch_.grid_blocks) * launch_.block_threads;
+
+    const uint64_t* addr_row = warp.regRow(addr_reg);
+    const ResolvedSrc store_val =
+        is_store ? resolveSrc(warp, d, 1) : ResolvedSrc{};
+    uint64_t* const dst_row =
+        (!is_store && inst.dst >= 0) ? warp.regRow(unsigned(inst.dst))
+                                     : nullptr;
+    SparseMemory* const local_base =
+        local_arena_.data() + size_t(warp.local_slot) * config_.warp_size;
+
+    MemAccess access;
+    access.space = space;
+    access.is_store = is_store;
+    access.width = inst.width;
+    access.imm_offset = inst.imm_offset;
+    access.frame_base = frame_base;
+    access.stack_top = config_.stack_top;
+    access.shared_limit = shared_limit;
 
     for (unsigned lane = 0; lane < warp.lanes; ++lane) {
         if (!(warp.active & (1u << lane)))
             continue;
         const uint32_t gtid = warp.first_gtid + lane;
 
-        MemAccess access;
-        access.space = space;
-        access.is_store = is_store;
-        access.width = inst.width;
-        access.reg_value = warp.regv(lane, addr_reg);
-        access.imm_offset = inst.imm_offset;
+        access.reg_value = addr_row[lane];
         access.gtid = gtid;
-        access.frame_base = frame_base;
-        access.stack_top = config_.stack_top;
-        access.shared_limit = shared_limit;
 
         MemCheck check = mech_.onMemAccess(access);
         if (check.fault) {
@@ -272,10 +483,10 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
             mem = &global_mem_;
             break;
           case MemSpace::Shared:
-            mem = &shared_mem_[warp.block];
+            mem = warp.shared;
             break;
           case MemSpace::Local: {
-            mem = &local_mem_[gtid];
+            mem = local_base + lane;
             // Interleave per-thread words so that lane-uniform offsets
             // coalesce, as the hardware's local-memory mapping does.
             const uint64_t word = (addr - kLocalBase) >> 2;
@@ -288,11 +499,9 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
         }
 
         if (is_store) {
-            mem->write(addr, operandValue(warp, lane,
-                                          inst.src[1]), inst.width);
+            mem->write(addr, store_val.get(lane), inst.width);
         } else {
-            uint64_t v = mem->read(addr, inst.width);
-            warp.reg(lane, unsigned(inst.dst)) = v;
+            dst_row[lane] = mem->read(addr, inst.width);
         }
 
         if (launch_.sanitizer)
@@ -303,8 +512,13 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 
         if (space != MemSpace::Shared) {
             const uint64_t line = probe_addr / config_.line_bytes;
-            if (std::find(lines.begin(), lines.end(), line) == lines.end())
-                lines.push_back(line);
+            // Coalesced warps hit the previous lane's line almost every
+            // time; only fall back to the full scan when they don't.
+            if (lines.empty() || lines.back() != line) {
+                if (std::find(lines.begin(), lines.end(), line) ==
+                    lines.end())
+                    lines.push_back(line);
+            }
         }
     }
 
@@ -365,27 +579,50 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 // Issue
 // ---------------------------------------------------------------------
 
-bool
-GpuSim::warpReady(const SmCtx& sm, const Warp& warp) const
+uint64_t
+GpuSim::warpReadyAt(const Warp& warp) const
 {
-    if (warp.done || warp.at_barrier || warp.stall_until > sm.cycle)
-        return false;
-    const Instruction& inst = program_.code[warp.pc];
-    for (const auto& src : inst.src)
-        if (src.isReg() &&
-            warp.reg_ready[unsigned(src.value)] > sm.cycle)
-            return false;
-    if (inst.op == Opcode::ISETP) {
-        if (warp.pred_ready[unsigned(inst.dst)] > sm.cycle)
-            return false;
-    } else if (inst.dst >= 0 &&
-               warp.reg_ready[unsigned(inst.dst)] > sm.cycle) {
-        return false;
+    // Earliest cycle this warp could issue its next instruction: the
+    // max over its stall window and every scoreboard dependency. A
+    // warp is ready on cycle c iff warpReadyAt(w) <= c, so one scan
+    // serves both the GTO pick and the stall fast-forward target.
+    if (warp.done || warp.at_barrier)
+        return ~uint64_t(0);
+    uint64_t t = warp.stall_until;
+    const InstDesc& d = idesc_[warp.pc];
+    for (unsigned i = 0; i < kMaxSrcs; ++i) {
+        const int r = d.src_reg[i];
+        if (r >= 0)
+            t = std::max(t, warp.reg_ready[unsigned(r)]);
     }
-    if (inst.guard_pred != kNoPred &&
-        warp.pred_ready[unsigned(inst.guard_pred)] > sm.cycle)
-        return false;
-    return true;
+    if (d.is_isetp)
+        t = std::max(t, warp.pred_ready[unsigned(d.dst)]);
+    else if (d.dst >= 0)
+        t = std::max(t, warp.reg_ready[unsigned(d.dst)]);
+    if (d.guard_pred >= 0)
+        t = std::max(t, warp.pred_ready[unsigned(d.guard_pred)]);
+    return t;
+}
+
+void
+GpuSim::markWarpDone(SmCtx& sm, Warp& warp)
+{
+    warp.done = true;
+    --sm.live_warps;
+    local_free_.push_back(warp.local_slot);
+    // Release the dead warp's bulk state: resident-warp scans stay
+    // cache-resident across long multi-wave launches, and its local
+    // slot is free for the next admitted warp.
+    std::vector<uint64_t>().swap(warp.regs);
+    std::vector<uint64_t>().swap(warp.reg_ready);
+    std::vector<std::pair<uint64_t, uint32_t>>().swap(warp.stack);
+    for (BlockCtx& blk : sm.blocks) {
+        if (blk.block_id == warp.block) {
+            if (++blk.done_warps == blk.num_warps)
+                sm.retire_pending = true;
+            break;
+        }
+    }
 }
 
 bool
@@ -395,7 +632,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
     for (;;) {
         if (warp.active == 0) {
             if (warp.stack.empty()) {
-                warp.done = true;
+                markWarpDone(sm, warp);
                 return false;
             }
             warp.pc = warp.stack.back().first;
@@ -420,6 +657,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
     }
 
     const Instruction& inst = program_.code[warp.pc];
+    const InstDesc& d = idesc_[warp.pc];
     ++result_.instructions;
     result_.thread_instructions += std::popcount(warp.active);
 
@@ -437,6 +675,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         launch_.trace->record(event);
     }
 
+    if (d.kind == InstDesc::Kind::Ctrl)
     switch (inst.op) {
       case Opcode::BRA: {
         uint32_t taken = 0;
@@ -472,7 +711,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         warp.exited |= warp.active;
         warp.active = 0;
         if (warp.stack.empty())
-            warp.done = true;
+            markWarpDone(sm, warp);
         // Remaining paths resume on the next issue via reconvergence.
         return true;
       }
@@ -507,6 +746,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         }
         warp.at_barrier = true;
         warp.barrier_pc = warp.pc;
+        ++sm.at_barrier_warps;
         ++warp.pc;
         return true;
       }
@@ -566,26 +806,143 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         break;
     }
 
-    if (isMemory(inst.op)) {
+    if (d.is_mem) {
         executeMemory(sm, warp, inst);
         ++warp.pc;
         return true;
     }
 
     // Integer / FP / MOV / S2R / ISETP / LDC path.
-    unsigned latency = isFpAlu(inst.op)
-                           ? (inst.op == Opcode::MUFU ? config_.sfu_latency
-                                                      : config_.fp_latency)
-                           : config_.int_latency;
+    unsigned latency = d.alu_latency;
     if (inst.hints.active)
         latency += mech_.extraIntLatency(inst);
 
+    const ResolvedSrc s0 = resolveSrc(warp, d, 0);
+    const ResolvedSrc s1 = resolveSrc(warp, d, 1);
+    const ResolvedSrc s2 = resolveSrc(warp, d, 2);
+
+    if (d.is_isetp) {
+        for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+            if (!(warp.active & (1u << lane)))
+                continue;
+            const bool r = evalCmp(inst.cmp, int64_t(s0.get(lane)),
+                                   int64_t(s1.get(lane)));
+            if (r)
+                warp.preds[unsigned(inst.dst)] |= (1u << lane);
+            else
+                warp.preds[unsigned(inst.dst)] &= ~(1u << lane);
+        }
+        warp.pred_ready[unsigned(inst.dst)] = cycle + latency;
+        ++warp.pc;
+        return true;
+    }
+
+    uint64_t* const dst_row =
+        inst.dst >= 0 ? warp.regRow(unsigned(inst.dst)) : nullptr;
+
+    if (!inst.hints.active) {
+        // Unhinted ALU fast path: the opcode dispatch is hoisted out of
+        // the lane loop, and a fully-active warp with a destination
+        // takes a maskless loop the compiler can vectorize.
+        const uint32_t full_mask =
+            warp.lanes >= 32 ? ~uint32_t(0) : ((1u << warp.lanes) - 1);
+#define LMI_ALU_LOOP(expr)                                              \
+    do {                                                                \
+        if (warp.active == full_mask && dst_row) {                      \
+            for (unsigned lane = 0; lane < warp.lanes; ++lane)          \
+                dst_row[lane] = (expr);                                 \
+        } else {                                                        \
+            for (unsigned lane = 0; lane < warp.lanes; ++lane) {        \
+                if (!(warp.active & (1u << lane)))                      \
+                    continue;                                           \
+                const uint64_t out = (expr);                            \
+                if (dst_row)                                            \
+                    dst_row[lane] = out;                                \
+            }                                                           \
+        }                                                               \
+    } while (0)
+
+        switch (inst.op) {
+          case Opcode::IADD:
+            LMI_ALU_LOOP(s0.get(lane) + s1.get(lane));
+            break;
+          case Opcode::IADD3:
+            LMI_ALU_LOOP(s0.get(lane) + s1.get(lane) + s2.get(lane));
+            break;
+          case Opcode::ISUB:
+            LMI_ALU_LOOP(s0.get(lane) - s1.get(lane));
+            break;
+          case Opcode::IMUL:
+            LMI_ALU_LOOP(s0.get(lane) * s1.get(lane));
+            break;
+          case Opcode::IMAD:
+            LMI_ALU_LOOP(s0.get(lane) * s1.get(lane) + s2.get(lane));
+            break;
+          case Opcode::IMNMX:
+            LMI_ALU_LOOP(uint64_t(std::min(int64_t(s0.get(lane)),
+                                           int64_t(s1.get(lane)))));
+            break;
+          case Opcode::SHL:
+            LMI_ALU_LOOP(s1.get(lane) >= 64 ? 0
+                                            : s0.get(lane)
+                                                  << s1.get(lane));
+            break;
+          case Opcode::SHR:
+            LMI_ALU_LOOP(s1.get(lane) >= 64 ? 0
+                                            : s0.get(lane) >>
+                                                  s1.get(lane));
+            break;
+          case Opcode::LOP_AND:
+            LMI_ALU_LOOP(s0.get(lane) & s1.get(lane));
+            break;
+          case Opcode::LOP_OR:
+            LMI_ALU_LOOP(s0.get(lane) | s1.get(lane));
+            break;
+          case Opcode::LOP_XOR:
+            LMI_ALU_LOOP(s0.get(lane) ^ s1.get(lane));
+            break;
+          case Opcode::MOV:
+          case Opcode::S2R:
+          case Opcode::LDC:
+            LMI_ALU_LOOP(s0.get(lane));
+            break;
+          case Opcode::FADD:
+            LMI_ALU_LOOP(asBits(asDouble(s0.get(lane)) +
+                                asDouble(s1.get(lane))));
+            break;
+          case Opcode::FMUL:
+            LMI_ALU_LOOP(asBits(asDouble(s0.get(lane)) *
+                                asDouble(s1.get(lane))));
+            break;
+          case Opcode::FFMA:
+            LMI_ALU_LOOP(asBits(asDouble(s0.get(lane)) *
+                                    asDouble(s1.get(lane)) +
+                                asDouble(s2.get(lane))));
+            break;
+          case Opcode::MUFU:
+            LMI_ALU_LOOP(asBits(asDouble(s0.get(lane)) == 0.0
+                                    ? 0.0
+                                    : 1.0 / asDouble(s0.get(lane))));
+            break;
+          default:
+            lmi_panic("unhandled opcode %s", opcodeName(inst.op));
+        }
+#undef LMI_ALU_LOOP
+
+        if (inst.dst >= 0)
+            warp.reg_ready[unsigned(inst.dst)] = cycle + latency;
+        ++warp.pc;
+        return true;
+    }
+
+    // Hinted (pointer-producing) ops go through the generic lane loop:
+    // the OCU hook observes every lane's input and result.
     for (unsigned lane = 0; lane < warp.lanes; ++lane) {
         if (!(warp.active & (1u << lane)))
             continue;
-        const uint64_t a = operandValue(warp, lane, inst.src[0]);
-        const uint64_t b = operandValue(warp, lane, inst.src[1]);
-        const uint64_t c = operandValue(warp, lane, inst.src[2]);
+        const uint64_t a = s0.get(lane);
+        const uint64_t b = s1.get(lane);
+        const uint64_t c = s2.get(lane);
         uint64_t out = 0;
 
         switch (inst.op) {
@@ -613,34 +970,22 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
           case Opcode::MUFU:
             out = asBits(asDouble(a) == 0.0 ? 0.0 : 1.0 / asDouble(a));
             break;
-          case Opcode::ISETP: {
-            const bool r = evalCmp(inst.cmp, int64_t(a), int64_t(b));
-            if (r)
-                warp.preds[unsigned(inst.dst)] |= (1u << lane);
-            else
-                warp.preds[unsigned(inst.dst)] &= ~(1u << lane);
-            continue;
-          }
           default:
             lmi_panic("unhandled opcode %s", opcodeName(inst.op));
         }
 
         // OCU attachment point (paper §VII).
-        if (inst.hints.active) {
-            const uint64_t ptr_in =
-                inst.hints.pointer_operand == 0
-                    ? a
-                    : (inst.op == Opcode::IMAD ? c : b);
-            out = mech_.onIntResult(inst, ptr_in, out);
-        }
+        const uint64_t ptr_in =
+            inst.hints.pointer_operand == 0
+                ? a
+                : (inst.op == Opcode::IMAD ? c : b);
+        out = mech_.onIntResult(inst, ptr_in, out);
 
-        if (inst.dst >= 0)
-            warp.reg(lane, unsigned(inst.dst)) = out;
+        if (dst_row)
+            dst_row[lane] = out;
     }
 
-    if (inst.op == Opcode::ISETP)
-        warp.pred_ready[unsigned(inst.dst)] = cycle + latency;
-    else if (inst.dst >= 0)
+    if (inst.dst >= 0)
         warp.reg_ready[unsigned(inst.dst)] = cycle + latency;
 
     ++warp.pc;
@@ -654,14 +999,16 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
 void
 GpuSim::releaseBarriers(SmCtx& sm)
 {
-    for (auto& block : sm.blocks) {
-        unsigned waiting = 0, live = 0;
+    for (BlockCtx& block : sm.blocks) {
+        unsigned waiting = 0;
+        const unsigned live = block.num_warps - block.done_warps;
         uint64_t bar_pc = ~uint64_t(0);
         bool mixed_pc = false;
-        for (auto& w : sm.warps) {
-            if (w.block != block.block_id || w.done)
+        for (uint32_t wi = block.first_warp;
+             wi < block.first_warp + block.num_warps; ++wi) {
+            const Warp& w = sm.warps[wi];
+            if (w.done)
                 continue;
-            ++live;
             if (w.at_barrier) {
                 ++waiting;
                 if (bar_pc == ~uint64_t(0))
@@ -701,131 +1048,170 @@ GpuSim::releaseBarriers(SmCtx& sm)
                 recordFault(f);
                 return;
             }
-            for (auto& w : sm.warps) {
-                if (w.block == block.block_id && w.at_barrier) {
+            for (uint32_t wi = block.first_warp;
+                 wi < block.first_warp + block.num_warps; ++wi) {
+                Warp& w = sm.warps[wi];
+                if (w.at_barrier) {
                     w.at_barrier = false;
                     w.stall_until = sm.cycle + config_.barrier_latency;
+                    --sm.at_barrier_warps;
                 }
             }
+            // Released warps become issuable earlier than any sleeping
+            // scheduler planned for.
+            std::fill(sm.sched_sleep.begin(), sm.sched_sleep.end(),
+                      uint64_t(0));
             if (launch_.sanitizer)
                 launch_.sanitizer->onBarrierRelease(block.block_id);
         }
     }
 }
 
-uint64_t
-GpuSim::nextReadyCycle(const SmCtx& sm) const
+void
+GpuSim::admitBlocks(SmCtx& sm)
 {
-    uint64_t best = ~uint64_t(0);
-    for (const auto& w : sm.warps) {
-        if (w.done || w.at_barrier)
-            continue;
-        uint64_t t = std::max(w.stall_until, sm.cycle + 1);
-        const Instruction& inst = program_.code[w.pc];
-        for (const auto& src : inst.src)
-            if (src.isReg())
-                t = std::max(t, w.reg_ready[unsigned(src.value)]);
-        if (inst.op == Opcode::ISETP)
-            t = std::max(t, w.pred_ready[unsigned(inst.dst)]);
-        else if (inst.dst >= 0)
-            t = std::max(t, w.reg_ready[unsigned(inst.dst)]);
-        if (inst.guard_pred != kNoPred)
-            t = std::max(t, w.pred_ready[unsigned(inst.guard_pred)]);
-        best = std::min(best, t);
+    const unsigned warps_per_block =
+        (launch_.block_threads + config_.warp_size - 1) / config_.warp_size;
+
+    while (sm.next_block < sm.pending_blocks.size()) {
+        if (sm.blocks.size() >= config_.max_blocks_per_sm ||
+            sm.live_warps + warps_per_block > config_.max_warps_per_sm)
+            return;
+
+        const uint32_t bid = sm.pending_blocks[sm.next_block++];
+        BlockCtx bc;
+        bc.block_id = bid;
+        bc.num_warps = warps_per_block;
+        bc.first_warp = uint32_t(sm.warps.size());
+        bc.shared_slot = shared_free_.back();
+        shared_free_.pop_back();
+        shared_arena_[bc.shared_slot].reset();
+        sm.blocks.push_back(bc);
+        SparseMemory* const shared = &shared_arena_[bc.shared_slot];
+
+        for (unsigned wi = 0; wi < warps_per_block; ++wi) {
+            Warp w;
+            w.block = bid;
+            w.warp_in_block = wi;
+            w.first_gtid = bid * launch_.block_threads +
+                           wi * config_.warp_size;
+            const unsigned first_tid = wi * config_.warp_size;
+            w.lanes = std::min(config_.warp_size,
+                               launch_.block_threads - first_tid);
+            w.active = w.lanes >= 32 ? ~uint32_t(0)
+                                     : ((1u << w.lanes) - 1);
+            w.rstride = uint16_t(config_.warp_size);
+            w.shared = shared;
+            w.local_slot = local_free_.back();
+            local_free_.pop_back();
+            for (unsigned l = 0; l < config_.warp_size; ++l)
+                local_arena_[size_t(w.local_slot) * config_.warp_size + l]
+                    .reset();
+            w.reg_ready.assign(nregs_, 0);
+            w.regs.assign(size_t(config_.warp_size) * nregs_, 0);
+            w.stall_until = sm.cycle;
+            const uint32_t idx = uint32_t(sm.warps.size());
+            sm.warps.push_back(std::move(w));
+            const unsigned s = idx % config_.schedulers_per_sm;
+            sm.sched_live[s].push_back(idx);
+            sm.sched_sleep[s] = 0; // new warp: scheduler must rescan
+            ++sm.live_warps;
+        }
     }
-    return best;
+}
+
+void
+GpuSim::retireBlocks(SmCtx& sm)
+{
+    for (size_t i = 0; i < sm.blocks.size();) {
+        BlockCtx& blk = sm.blocks[i];
+        if (blk.done_warps >= blk.num_warps) {
+            shared_free_.push_back(blk.shared_slot);
+            if (launch_.sanitizer)
+                launch_.sanitizer->onBlockRetire(blk.block_id);
+            sm.blocks.erase(sm.blocks.begin() + long(i));
+        } else {
+            ++i;
+        }
+    }
+    // Blocks retire in bulk, so this is the one spot where the scheduler
+    // lists accumulate dead entries worth pruning.
+    for (auto& list : sm.sched_live) {
+        size_t keep = 0;
+        for (const uint32_t wi : list)
+            if (!sm.warps[wi].done)
+                list[keep++] = wi;
+        list.resize(keep);
+    }
 }
 
 void
 GpuSim::runSm(SmCtx& sm)
 {
-    const unsigned warps_per_block =
-        (launch_.block_threads + config_.warp_size - 1) / config_.warp_size;
-
-    auto admit = [&] {
-        while (sm.next_block < sm.pending_blocks.size()) {
-            unsigned resident_warps = 0;
-            for (const auto& w : sm.warps)
-                if (!w.done)
-                    resident_warps += 1;
-            if (sm.blocks.size() >= config_.max_blocks_per_sm ||
-                resident_warps + warps_per_block > config_.max_warps_per_sm)
-                return;
-
-            const uint32_t bid = sm.pending_blocks[sm.next_block++];
-            BlockCtx bc;
-            bc.block_id = bid;
-            bc.num_warps = warps_per_block;
-            sm.blocks.push_back(bc);
-            for (unsigned wi = 0; wi < warps_per_block; ++wi) {
-                Warp w;
-                w.block = bid;
-                w.warp_in_block = wi;
-                w.first_gtid = bid * launch_.block_threads +
-                               wi * config_.warp_size;
-                const unsigned first_tid = wi * config_.warp_size;
-                w.lanes = std::min(config_.warp_size,
-                                   launch_.block_threads - first_tid);
-                w.active = w.lanes >= 32 ? ~uint32_t(0)
-                                         : ((1u << w.lanes) - 1);
-                w.reg_ready.assign(nregs_, 0);
-                w.regs.assign(size_t(config_.warp_size) * nregs_, 0);
-                w.stall_until = sm.cycle;
-                sm.warps.push_back(std::move(w));
-            }
-        }
-    };
-
-    admit();
+    admitBlocks(sm);
 
     uint64_t idle_guard = 0;
     while (!abort_) {
-        // Retire finished blocks and admit new ones.
-        for (size_t i = 0; i < sm.blocks.size();) {
-            bool all_done = true;
-            for (const auto& w : sm.warps)
-                if (w.block == sm.blocks[i].block_id && !w.done)
-                    all_done = false;
-            if (all_done) {
-                shared_mem_.erase(sm.blocks[i].block_id);
-                if (launch_.sanitizer)
-                    launch_.sanitizer->onBlockRetire(
-                        sm.blocks[i].block_id);
-                sm.blocks.erase(sm.blocks.begin() + long(i));
-            } else {
-                ++i;
-            }
+        // Retire finished blocks and admit new ones — only on the cycles
+        // where a block actually completed; nothing changes otherwise.
+        if (sm.retire_pending) {
+            sm.retire_pending = false;
+            retireBlocks(sm);
+            admitBlocks(sm);
         }
-        admit();
 
-        bool any_live = false;
-        for (const auto& w : sm.warps)
-            any_live |= !w.done;
-        if (!any_live && sm.next_block >= sm.pending_blocks.size())
+        if (sm.live_warps == 0 &&
+            sm.next_block >= sm.pending_blocks.size())
             break;
 
-        releaseBarriers(sm);
+        if (sm.at_barrier_warps != 0)
+            releaseBarriers(sm);
 
         bool issued = false;
         for (unsigned s = 0; s < config_.schedulers_per_sm; ++s) {
+            // A sleeping scheduler has no warp issuable before
+            // sched_sleep[s] (proven by its last full scan), so skip it
+            // without touching any warp state.
+            if (sm.sched_sleep[s] > sm.cycle)
+                continue;
             // GTO: greedy on the last-issued warp, else oldest ready.
             int pick = -1;
+            // last_issued[s] is always one of scheduler s's own warps
+            // (picks come from sched_live[s]), so no ownership re-check.
             const int last = sm.last_issued[s];
             if (last >= 0 && size_t(last) < sm.warps.size() &&
-                unsigned(last) % config_.schedulers_per_sm == s &&
-                warpReady(sm, sm.warps[size_t(last)])) {
+                warpReadyAt(sm.warps[size_t(last)]) <= sm.cycle) {
                 pick = last;
             } else {
-                for (size_t wi = s; wi < sm.warps.size();
-                     wi += config_.schedulers_per_sm) {
-                    if (warpReady(sm, sm.warps[wi])) {
+                uint64_t min_t = ~uint64_t(0);
+                for (const uint32_t wi : sm.sched_live[s]) {
+                    if (sm.warps[wi].done)
+                        continue;
+                    const uint64_t t = warpReadyAt(sm.warps[wi]);
+                    if (t <= sm.cycle) {
                         pick = int(wi);
                         break;
                     }
+                    min_t = std::min(min_t, t);
                 }
+                if (pick < 0)
+                    sm.sched_sleep[s] = min_t;
             }
             if (pick >= 0) {
-                issued |= issueWarp(sm, sm.warps[size_t(pick)]);
+                if (issueWarp(sm, sm.warps[size_t(pick)])) {
+                    issued = true;
+                } else {
+                    // The pick evaporated (reconvergence exit) without
+                    // issuing. Recompute this scheduler's wake-up so the
+                    // fast-forward target below stays exact.
+                    uint64_t min_t = ~uint64_t(0);
+                    for (const uint32_t wi : sm.sched_live[s]) {
+                        if (!sm.warps[wi].done)
+                            min_t = std::min(min_t,
+                                             warpReadyAt(sm.warps[wi]));
+                    }
+                    sm.sched_sleep[s] = min_t;
+                }
                 sm.last_issued[s] = pick;
                 if (abort_)
                     return;
@@ -836,7 +1222,14 @@ GpuSim::runSm(SmCtx& sm)
             ++sm.cycle;
             idle_guard = 0;
         } else {
-            const uint64_t next = nextReadyCycle(sm);
+            // Stall fast-forward: no warp can issue this cycle, so jump
+            // straight to the earliest cycle where one can. Every
+            // scheduler is now sleeping (it either just completed a
+            // failed full scan, or was already asleep with a still-valid
+            // target), so the earliest wake-up is exact.
+            uint64_t next = ~uint64_t(0);
+            for (const uint64_t t : sm.sched_sleep)
+                next = std::min(next, t);
             if (next == ~uint64_t(0)) {
                 // Everything is blocked: barriers release next round; if
                 // nothing changes we are deadlocked.

@@ -20,6 +20,22 @@
  * SMs are simulated one after another with private clocks; they share
  * the L2/DRAM models, which is the usual fast-simulation approximation —
  * all paper results are relative measurements on the same model.
+ *
+ * Hot-path engineering (results stay byte-identical, see DESIGN.md):
+ *
+ *  - a per-instruction decode table (InstDesc) resolves operand kinds,
+ *    scoreboard register lists, and constant-bank reads once per launch
+ *    instead of once per lane per dynamic instruction;
+ *  - the per-lane register file is laid out register-major (SoA), so the
+ *    lane loop of one instruction walks contiguous memory;
+ *  - per-thread local and per-block shared memories live in dense,
+ *    residency-bounded arenas reused across waves and SMs (slots are
+ *    zero-reset on reuse), replacing per-access hash-map lookups;
+ *  - the SM loop is gated by live/barrier/retire counters so block
+ *    retirement scans, admission and barrier release run only on the
+ *    cycles where they can act;
+ *  - coalescer transaction lists use a reusable scratch buffer instead
+ *    of a per-instruction allocation.
  */
 
 #pragma once
@@ -60,6 +76,7 @@ class GpuSim
     GpuSim(const GpuConfig& config, ProtectionMechanism& mech,
            SparseMemory& global_mem, DeviceHeapAllocator& heap,
            const Program& program, Launch launch);
+    ~GpuSim(); // out of line: members of internal (incomplete) types
 
     /** Run to completion (or first fault) and return the result. */
     RunResult run();
@@ -68,15 +85,22 @@ class GpuSim
     struct Warp;
     struct BlockCtx;
     struct SmCtx;
+    struct InstDesc;
+    struct ResolvedSrc;
 
+    void buildDecodeTable();
+    ResolvedSrc resolveSrc(const Warp& warp, const InstDesc& d,
+                           unsigned idx) const;
     void runSm(SmCtx& sm);
     bool issueWarp(SmCtx& sm, Warp& warp);
     void executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst);
     uint64_t operandValue(const Warp& warp, unsigned lane,
                           const Operand& op) const;
+    void admitBlocks(SmCtx& sm);
+    void retireBlocks(SmCtx& sm);
+    void markWarpDone(SmCtx& sm, Warp& warp);
     void releaseBarriers(SmCtx& sm);
-    uint64_t nextReadyCycle(const SmCtx& sm) const;
-    bool warpReady(const SmCtx& sm, const Warp& warp) const;
+    uint64_t warpReadyAt(const Warp& warp) const;
     void recordFault(const Fault& fault);
 
     const GpuConfig& config_;
@@ -93,10 +117,24 @@ class GpuSim
     RunResult result_;
     bool abort_ = false;
 
-    /** Per-thread local (stack) memories, keyed by global thread id. */
-    std::unordered_map<uint32_t, SparseMemory> local_mem_;
-    /** Per-block shared memories (created per wave). */
-    std::unordered_map<uint32_t, SparseMemory> shared_mem_;
+    /** Per-instruction predecoded operand/scoreboard metadata. */
+    std::vector<InstDesc> idesc_;
+
+    /**
+     * Flat memory arenas. Residency is bounded (max_blocks_per_sm blocks,
+     * max_warps_per_sm warps) and SMs run sequentially, so one dense pool
+     * of slots serves the whole launch: shared_arena_[slot] backs one
+     * resident block, local_arena_[slot * warp_size + lane] one resident
+     * thread. Slots are zero-reset when (re)assigned, which preserves the
+     * "fresh memory reads zero" semantics of the old per-id hash maps.
+     */
+    std::vector<SparseMemory> shared_arena_;
+    std::vector<SparseMemory> local_arena_;
+    std::vector<uint32_t> shared_free_;
+    std::vector<uint32_t> local_free_;
+
+    /** Reusable coalescer scratch (SMs run one at a time). */
+    std::vector<uint64_t> lines_scratch_;
 };
 
 } // namespace lmi

@@ -5,6 +5,12 @@
  * Used for global memory (one instance per device), per-block shared
  * memory, and per-thread local memory. Pages materialize zero-filled on
  * first touch, so the 8 GB global space costs only what kernels touch.
+ *
+ * A one-entry last-page cache short-circuits the page map for the common
+ * case of consecutive accesses landing on the same page (coalesced warp
+ * accesses, streaming loops). Page storage is heap-allocated behind
+ * unique_ptr, so the cached pointer stays valid across map rehashes;
+ * only reset() invalidates it.
  */
 
 #pragma once
@@ -27,6 +33,17 @@ class SparseMemory
     uint64_t
     read(uint64_t addr, unsigned n)
     {
+        const uint64_t off = addr % kPageBytes;
+        if (off + n <= kPageBytes) {
+            // Reads must not materialize pages (footprint stats count
+            // touched pages): probe without inserting.
+            const uint8_t* p = findPage(addr / kPageBytes);
+            if (!p)
+                return 0;
+            uint64_t v = 0;
+            std::memcpy(&v, p + off, n);
+            return v;
+        }
         uint64_t v = 0;
         readBytes(addr, reinterpret_cast<uint8_t*>(&v), n);
         return v;
@@ -36,6 +53,11 @@ class SparseMemory
     void
     write(uint64_t addr, uint64_t value, unsigned n)
     {
+        const uint64_t off = addr % kPageBytes;
+        if (off + n <= kPageBytes) {
+            std::memcpy(page(addr / kPageBytes) + off, &value, n);
+            return;
+        }
         writeBytes(addr, reinterpret_cast<const uint8_t*>(&value), n);
     }
 
@@ -45,11 +67,11 @@ class SparseMemory
         while (n > 0) {
             const uint64_t off = addr % kPageBytes;
             const uint64_t chunk = std::min(n, kPageBytes - off);
-            auto it = pages_.find(addr / kPageBytes);
-            if (it == pages_.end())
+            const uint8_t* p = findPage(addr / kPageBytes);
+            if (!p)
                 std::memset(out, 0, chunk);
             else
-                std::memcpy(out, it->second->data() + off, chunk);
+                std::memcpy(out, p + off, chunk);
             addr += chunk;
             out += chunk;
             n -= chunk;
@@ -62,7 +84,7 @@ class SparseMemory
         while (n > 0) {
             const uint64_t off = addr % kPageBytes;
             const uint64_t chunk = std::min(n, kPageBytes - off);
-            std::memcpy(page(addr / kPageBytes).data() + off, in, chunk);
+            std::memcpy(page(addr / kPageBytes) + off, in, chunk);
             addr += chunk;
             in += chunk;
             n -= chunk;
@@ -72,21 +94,54 @@ class SparseMemory
     /** Number of materialized pages (for footprint stats). */
     size_t pageCount() const { return pages_.size(); }
 
+    /** Drop all contents: subsequent reads see zeros again. */
+    void
+    reset()
+    {
+        pages_.clear();
+        cached_idx_ = kNoPage;
+        cached_page_ = nullptr;
+    }
+
   private:
     using Page = std::array<uint8_t, kPageBytes>;
 
-    Page&
+    static constexpr uint64_t kNoPage = ~uint64_t(0);
+
+    /** Look up a page without materializing it; nullptr if untouched. */
+    const uint8_t*
+    findPage(uint64_t idx)
+    {
+        if (idx == cached_idx_ && cached_page_)
+            return cached_page_;
+        auto it = pages_.find(idx);
+        if (it == pages_.end())
+            return nullptr;
+        cached_idx_ = idx;
+        cached_page_ = it->second->data();
+        return cached_page_;
+    }
+
+    /** Look up a page, materializing it zero-filled on first touch. */
+    uint8_t*
     page(uint64_t idx)
     {
+        if (idx == cached_idx_ && cached_page_)
+            return cached_page_;
         auto& p = pages_[idx];
         if (!p) {
             p = std::make_unique<Page>();
             p->fill(0);
         }
-        return *p;
+        cached_idx_ = idx;
+        cached_page_ = p->data();
+        return cached_page_;
     }
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    /** One-entry cache of the last page touched (index, storage). */
+    uint64_t cached_idx_ = kNoPage;
+    uint8_t* cached_page_ = nullptr;
 };
 
 } // namespace lmi

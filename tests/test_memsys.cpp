@@ -58,6 +58,47 @@ TEST(SparseMemory, PartialWidthWritePreservesNeighbors)
     EXPECT_EQ(mem.read(0x100, 8), 0xAAAAAAAAAA42AAAAull);
 }
 
+TEST(SparseMemory, ResetInvalidatesPageCache)
+{
+    // The one-entry last-page cache must not serve storage that
+    // reset() released.
+    SparseMemory mem;
+    mem.write(0x2000, 0x1111, 2); // cache now points at this page
+    EXPECT_EQ(mem.read(0x2000, 2), 0x1111u);
+    mem.reset();
+    EXPECT_EQ(mem.read(0x2000, 2), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u); // the read did not re-materialize
+    mem.write(0x2000, 0x2222, 2);
+    EXPECT_EQ(mem.read(0x2000, 2), 0x2222u);
+}
+
+TEST(SparseMemory, PageCacheTracksSwitches)
+{
+    // Alternating between pages must always read the right storage.
+    SparseMemory mem;
+    const uint64_t a = 0;
+    const uint64_t b = 5 * SparseMemory::kPageBytes;
+    mem.write(a, 0xAA, 1);
+    mem.write(b, 0xBB, 1);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(mem.read(a, 1), 0xAAu);
+        EXPECT_EQ(mem.read(b, 1), 0xBBu);
+    }
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SparseMemory, TopOfAddressSpace)
+{
+    // Wild 64-bit addresses (reachable under the unprotected baseline)
+    // must behave like any other page, including the very last one.
+    SparseMemory mem;
+    const uint64_t addr = ~uint64_t(0) - 7; // last 8 bytes of memory
+    EXPECT_EQ(mem.read(addr, 8), 0u);
+    mem.write(addr, 0x0123456789ABCDEFull, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0x0123456789ABCDEFull);
+    EXPECT_EQ(mem.pageCount(), 1u);
+}
+
 TEST(CacheModel, HitAfterFill)
 {
     CacheModel cache(1024, 2, 64);
@@ -81,6 +122,72 @@ TEST(CacheModel, LruEviction)
     EXPECT_FALSE(cache.access(0x100)); // evicts 0x080 (LRU)
     EXPECT_TRUE(cache.access(0x000));
     EXPECT_FALSE(cache.access(0x080)); // was evicted
+}
+
+TEST(CacheModel, LruEvictionOrderAcrossFullSet)
+{
+    // 4-way, one set (256 B): eviction order must track recency, not
+    // fill order.
+    CacheModel cache(256, 4, 64);
+    EXPECT_FALSE(cache.access(0x000)); // A
+    EXPECT_FALSE(cache.access(0x040)); // B
+    EXPECT_FALSE(cache.access(0x080)); // C
+    EXPECT_FALSE(cache.access(0x0C0)); // D — set now full
+    EXPECT_TRUE(cache.access(0x000));  // refresh A
+    EXPECT_TRUE(cache.access(0x080));  // refresh C
+    EXPECT_FALSE(cache.access(0x100)); // E evicts B (least recent)
+    EXPECT_TRUE(cache.access(0x0C0));  // D survived (and is refreshed)
+    EXPECT_FALSE(cache.access(0x040)); // B gone; re-fill evicts A (LRU)
+    EXPECT_TRUE(cache.access(0x080));  // C still resident
+    EXPECT_FALSE(cache.access(0x000)); // A was the victim
+}
+
+TEST(CacheModel, SetIndexAliasing)
+{
+    // 2 KB, 2-way, 64 B lines => 16 sets. Lines 16 apart alias into
+    // the same set; neighbors do not.
+    CacheModel cache(2048, 2, 64);
+    const uint64_t stride = 16 * 64;
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(stride));
+    EXPECT_FALSE(cache.access(2 * stride)); // evicts line 0 (2-way)
+    EXPECT_FALSE(cache.access(0));          // conflict miss
+    // A line in a different set is untouched by that thrashing.
+    EXPECT_FALSE(cache.access(0x040)); // compulsory
+    EXPECT_TRUE(cache.access(0x040));
+}
+
+TEST(CacheModel, NonPowerOfTwoSetCount)
+{
+    // 192 B direct-mapped with 64 B lines => 3 sets, indexed modulo 3.
+    CacheModel cache(192, 1, 64);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(3 * 64)); // line 3 % 3 == set 0: evicts
+    EXPECT_FALSE(cache.access(0));      // conflict miss
+    EXPECT_FALSE(cache.access(64));     // line 1 -> set 1, independent
+    EXPECT_TRUE(cache.access(64));
+}
+
+TEST(CacheModel, AccountingOnStridedSweeps)
+{
+    // Direct-mapped, 8 sets: a working set that fits is all-miss on
+    // the first sweep and all-hit on the second; doubling the stride
+    // footprint aliases every line and thrashes to 100% misses.
+    CacheModel cache(512, 1, 64);
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t line = 0; line < 8; ++line)
+            cache.access(line * 64);
+    EXPECT_EQ(cache.misses(), 8u);
+    EXPECT_EQ(cache.hits(), 8u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+
+    cache.reset();
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t line = 0; line < 16; ++line)
+            cache.access(line * 64); // 16 lines, 8 sets: self-evicting
+    EXPECT_EQ(cache.misses(), 32u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
 }
 
 TEST(CacheModel, ResetClears)

@@ -170,10 +170,12 @@ TEST(SweepCache, HitsOnRerunMissesOnConfigChange)
 
     const SweepResult cold = runSweep(spec);
     EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, cold.cells.size());
     EXPECT_EQ(cold.failures, 0u);
 
     const SweepResult warm = runSweep(spec);
     EXPECT_EQ(warm.cache_hits, warm.cells.size());
+    EXPECT_EQ(warm.cache_misses, 0u);
     for (const CellResult& cell : warm.cells)
         EXPECT_TRUE(cell.from_cache);
     EXPECT_EQ(payloads(cold), payloads(warm));
@@ -182,6 +184,7 @@ TEST(SweepCache, HitsOnRerunMissesOnConfigChange)
     spec.config.l1_latency += 5;
     const SweepResult changed = runSweep(spec);
     EXPECT_EQ(changed.cache_hits, 0u);
+    EXPECT_EQ(changed.cache_misses, changed.cells.size());
     for (const CellResult& cell : changed.cells)
         EXPECT_FALSE(cell.from_cache);
 
@@ -305,6 +308,30 @@ TEST(ResultCacheTest, IgnoresCorruptEntries)
     }
     EXPECT_FALSE(cache.load(42, &out));
     fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, RejectsTruncatedPayloadPrefix)
+{
+    // A killed writer (or a partially synced disk) can leave a
+    // byte-for-byte *prefix* of a valid payload — well-formed lines
+    // all the way down, just fewer of them. Without the end sentinel
+    // such a prefix would deserialize as a complete (wrong) result and
+    // poison every later cached sweep.
+    CellResult cell;
+    cell.workload = "w";
+    cell.fingerprint = 43;
+    cell.ok = true;
+    cell.result.cycles = 9;
+    cell.device_stats.inc("alloc.count", 3);
+    const std::string full = serializeCellPayload(cell);
+
+    CellResult out;
+    ASSERT_TRUE(deserializeCellPayload(full, 43, &out));
+    for (const size_t cut :
+         {full.size() - 2, full.size() - 4, full.size() / 2, size_t(20)})
+        EXPECT_FALSE(
+            deserializeCellPayload(full.substr(0, cut), 43, &out))
+            << "accepted a " << cut << "-byte prefix of " << full.size();
 }
 
 TEST(SweepExport, CsvAndJsonCoverEveryCell)

@@ -274,6 +274,9 @@ cmdSweep(double scale, const GlobalOpts& opts)
                 "%zu over timeout\n",
                 sweep.cells.size(), sweep.wall_ms / 1000.0,
                 sweep.cache_hits, sweep.failures, sweep.timeouts);
+    if (!opts.cache_dir.empty())
+        std::printf("result cache: %zu hits, %zu misses\n",
+                    sweep.cache_hits, sweep.cache_misses);
 
     if (!opts.csv_path.empty()) {
         std::ofstream out(opts.csv_path, std::ios::trunc);
