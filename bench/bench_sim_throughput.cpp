@@ -14,10 +14,18 @@
  * Regression mode: `--check FILE [--tolerance PCT]` re-measures and
  * exits non-zero when the aggregate rate fell more than PCT percent
  * (default 30) below the rate recorded in FILE. CI's perf-smoke job
- * runs exactly that against the committed baseline.
+ * runs exactly that against the committed baseline. The check always
+ * gates the *serial* rate — thread-scaling numbers vary with the host.
+ *
+ * Thread-scaling mode: `--threads 1,2,4,8` re-runs the basket with the
+ * simulator's per-launch SM worker pool at each count (results are
+ * byte-identical; only wall clock changes) and reports Mcycles/s plus
+ * parallel efficiency per count, recorded under "thread_scaling" in
+ * the JSON together with the host's hardware concurrency.
  *
  * usage: bench_sim_throughput [scale] [--jobs N] [--out FILE]
  *                             [--check FILE] [--tolerance PCT]
+ *                             [--threads LIST]
  */
 
 #include <sys/resource.h>
@@ -27,6 +35,8 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "mechanisms/registry.hpp"
@@ -94,6 +104,7 @@ main(int argc, char** argv)
     std::string out_path = "BENCH_sim_throughput.json";
     std::string check_path;
     double tolerance = 30.0;
+    std::vector<unsigned> thread_counts;
     bool scale_seen = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
@@ -104,13 +115,23 @@ main(int argc, char** argv)
             check_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
             tolerance = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            for (const char* p = argv[++i]; *p;) {
+                char* end;
+                const long v = std::strtol(p, &end, 10);
+                if (end == p || v < 1)
+                    break;
+                thread_counts.push_back(unsigned(v));
+                p = *end == ',' ? end + 1 : end;
+            }
         } else if (!scale_seen) {
             scale = std::atof(argv[i]);
             scale_seen = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [scale] [--jobs N] [--out FILE] "
-                         "[--check FILE] [--tolerance PCT]\n",
+                         "[--check FILE] [--tolerance PCT] "
+                         "[--threads LIST]\n",
                          argv[0]);
             return 2;
         }
@@ -127,6 +148,9 @@ main(int argc, char** argv)
         spec.mechanisms.push_back(kind);
     spec.scales = {scale};
     spec.jobs = jobs;
+    // The tracked rate is always the serial engine: pin sim_threads so
+    // an inherited LMI_SIM_THREADS cannot skew the baseline.
+    spec.sim_threads = 1;
     // Never cached: the whole point is to measure fresh simulation.
 
     const SweepResult sweep = runSweep(spec);
@@ -159,6 +183,67 @@ main(int argc, char** argv)
     const long rss_kb = peakRssKb();
     std::printf("\npeak RSS: %.1f MB\n", double(rss_kb) / 1024.0);
 
+    // Thread-scaling pass: identical simulation (byte-identical
+    // results), only the per-launch SM worker count varies. Jobs are
+    // pinned to 1 so each measurement owns the whole host, and the
+    // oversubscription clamp is off — measuring past the core count is
+    // exactly the point of the sweep.
+    struct ScalePoint
+    {
+        unsigned threads = 1;
+        uint64_t cycles = 0;
+        double wall_ms = 0.0;
+        double mcps = 0.0;
+        double efficiency = 1.0;
+    };
+    std::vector<ScalePoint> scaling;
+    if (!thread_counts.empty()) {
+        SweepSpec tspec = spec;
+        tspec.jobs = 1;
+        tspec.clamp_sim_threads = false;
+        for (unsigned t : thread_counts) {
+            tspec.sim_threads = t;
+            const SweepResult ts = runSweep(tspec);
+            if (ts.failures) {
+                std::fprintf(stderr,
+                             "error: %zu cell(s) failed at %u threads\n",
+                             ts.failures, t);
+                return 1;
+            }
+            ScalePoint pt;
+            pt.threads = t;
+            for (const CellResult& cell : ts.cells) {
+                pt.cycles += cell.result.cycles;
+                pt.wall_ms += cell.wall_ms;
+            }
+            pt.mcps = pt.wall_ms > 0.0
+                          ? double(pt.cycles) / pt.wall_ms / 1000.0
+                          : 0.0;
+            scaling.push_back(pt);
+        }
+        // Efficiency is speedup over the 1-thread point of this same
+        // pass (or the serial headline rate when 1 is not in the list)
+        // divided by the thread count.
+        double base_rate = total.mcps();
+        for (const ScalePoint& pt : scaling)
+            if (pt.threads == 1 && pt.mcps > 0.0)
+                base_rate = pt.mcps;
+        TextTable scale_table({"threads", "wall_ms", "mcycles_per_sec",
+                               "speedup", "efficiency"});
+        for (ScalePoint& pt : scaling) {
+            const double speedup =
+                base_rate > 0.0 ? pt.mcps / base_rate : 0.0;
+            pt.efficiency = pt.threads ? speedup / pt.threads : 0.0;
+            scale_table.addRow({std::to_string(pt.threads),
+                                fmtF(pt.wall_ms, 1), fmtF(pt.mcps, 2),
+                                fmtF(speedup, 2) + "x",
+                                fmtF(100.0 * pt.efficiency, 1) + "%"});
+        }
+        std::printf("\nthread scaling (%u host cpu(s)):\n%s",
+                    std::max(1u, std::thread::hardware_concurrency()),
+                    scale_table.render().c_str());
+    }
+
     // Read the reference rate before writing: --out and --check may
     // name the same file (refreshing the tracked baseline in place).
     const double base =
@@ -185,8 +270,22 @@ main(int argc, char** argv)
     out << "  \"aggregate_wall_ms\": " << fmtF(total.wall_ms, 3) << ",\n";
     out << "  \"aggregate_mcycles_per_sec\": " << fmtF(total.mcps(), 3)
         << ",\n";
-    out << "  \"peak_rss_kb\": " << rss_kb << "\n";
-    out << "}\n";
+    out << "  \"peak_rss_kb\": " << rss_kb;
+    if (!scaling.empty()) {
+        out << ",\n  \"host_cpus\": "
+            << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+        out << "  \"thread_scaling\": [\n";
+        for (size_t i = 0; i < scaling.size(); ++i) {
+            const ScalePoint& pt = scaling[i];
+            out << "    {\"threads\": " << pt.threads
+                << ", \"wall_ms\": " << fmtF(pt.wall_ms, 3)
+                << ", \"mcycles_per_sec\": " << fmtF(pt.mcps, 3)
+                << ", \"efficiency\": " << fmtF(pt.efficiency, 3) << "}"
+                << (i + 1 < scaling.size() ? "," : "") << "\n";
+        }
+        out << "  ]";
+    }
+    out << "\n}\n";
     out.close();
     std::printf("wrote %s\n", out_path.c_str());
 

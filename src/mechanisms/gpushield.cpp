@@ -1,15 +1,46 @@
 #include "mechanisms/gpushield.hpp"
 
+#include <algorithm>
+
 #include "arch/mem_map.hpp"
 #include "compiler/codegen.hpp" // tag helpers
 
 namespace lmi {
 
 GpuShieldMechanism::GpuShieldMechanism(Options options)
-    : options_(options),
-      rcache_(uint64_t(options.rcache_entries) * 16, options.rcache_assoc,
-              16)
+    : options_(options)
 {
+    sms_.emplace_back(options_);
+}
+
+void
+GpuShieldMechanism::bind(DeviceState state)
+{
+    ProtectionMechanism::bind(state);
+    const size_t n =
+        state_.config ? std::max(1u, state_.config->num_sms) : 1;
+    sms_.clear();
+    sms_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        sms_.emplace_back(options_);
+}
+
+uint64_t
+GpuShieldMechanism::rcacheHits() const
+{
+    uint64_t total = 0;
+    for (const SmState& sm : sms_)
+        total += sm.rcache.hits();
+    return total;
+}
+
+uint64_t
+GpuShieldMechanism::rcacheMisses() const
+{
+    uint64_t total = 0;
+    for (const SmState& sm : sms_)
+        total += sm.rcache.misses();
+    return total;
 }
 
 uint64_t
@@ -43,17 +74,19 @@ GpuShieldMechanism::onMemAccess(const MemAccess& access)
             auto it = bounds_table_.find(tag);
             if (it != bounds_table_.end()) {
                 // RCache probe: one bounds entry per (buffer, region
-                // chunk). A miss fetches the entry from L2.
+                // chunk) in the issuing SM's RCache. A miss fetches the
+                // entry from L2.
+                SmState& sm = sms_[access.sm < sms_.size() ? access.sm : 0];
                 const uint64_t granule = addr / options_.entry_granule;
                 const uint64_t key = (tag << 20) ^ granule;
                 // Next-granule prefetch: sequential sweeps pre-fill the
                 // RCache, so only non-sequential (uncoalesced) streams
                 // pay the refill — the needle/LSTM effect of Fig. 12.
-                uint64_t& last = last_granule_[tag];
+                uint64_t& last = sm.last_granule[tag];
                 const bool sequential =
                     granule == last || granule == last + 1;
                 last = granule;
-                if (!rcache_.access(key * 16) && !sequential) {
+                if (!sm.rcache.access(key * 16) && !sequential) {
                     result.extra_cycles = options_.miss_penalty;
                     result.serialize_cycles =
                         options_.miss_fill_occupancy;

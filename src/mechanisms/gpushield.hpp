@@ -18,6 +18,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "sim/cache.hpp"
@@ -54,13 +55,15 @@ class GpuShieldMechanism : public ProtectionMechanism
 
     std::string name() const override { return "gpushield"; }
 
+    void bind(DeviceState state) override;
+
     uint64_t canonical(uint64_t ptr) const override;
     uint64_t onHostAlloc(uint64_t ptr, uint64_t requested) override;
     MemCheck onMemAccess(const MemAccess& access) override;
 
-    /** RCache statistics (for the Fig. 12 analysis). */
-    uint64_t rcacheHits() const { return rcache_.hits(); }
-    uint64_t rcacheMisses() const { return rcache_.misses(); }
+    /** RCache statistics, summed over SMs (Fig. 12 analysis). */
+    uint64_t rcacheHits() const;
+    uint64_t rcacheMisses() const;
 
   private:
     struct Bounds
@@ -69,11 +72,29 @@ class GpuShieldMechanism : public ProtectionMechanism
         uint64_t size = 0;
     };
 
+    /** RCache and prefetch-detector state for one SM. */
+    struct SmState
+    {
+        explicit SmState(const Options& o)
+            : rcache(uint64_t(o.rcache_entries) * 16, o.rcache_assoc, 16)
+        {
+        }
+
+        CacheModel rcache;
+        /** Per-buffer last-touched granule (sequential-prefetch
+         *  detector). */
+        std::unordered_map<uint64_t, uint64_t> last_granule;
+    };
+
     Options options_;
-    CacheModel rcache_;
+    /**
+     * One RCache per SM (the paper's RCache is an SM-local structure);
+     * MemAccess::sm selects the instance, so concurrent SM workers
+     * never share a bounds cache. Sized in bind() from the config;
+     * until then a single slot serves host-less unit tests.
+     */
+    std::vector<SmState> sms_;
     std::unordered_map<uint64_t, Bounds> bounds_table_;
-    /** Per-buffer last-touched granule (sequential-prefetch detector). */
-    std::unordered_map<uint64_t, uint64_t> last_granule_;
     uint64_t next_id_ = 1;
     StatSlot probes_;
     StatSlot misses_;

@@ -210,6 +210,27 @@ runSweep(const SweepSpec& spec)
     std::atomic<size_t> cache_hits{0};
     std::atomic<size_t> cache_misses{0};
 
+    // One thread budget covers both axes: `jobs` workers each running a
+    // cell whose launches step SMs on `sim_threads` workers. Clamp the
+    // product to the hardware so a sweep never oversubscribes the host
+    // (scaling benchmarks opt out to measure exactly that).
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned jobs_used = std::min<unsigned>(
+        spec.jobs == 0 ? hw : spec.jobs,
+        unsigned(std::max<size_t>(cells.size(), 1)));
+    const unsigned threads_req =
+        spec.sim_threads ? spec.sim_threads
+                         : resolveSimThreads(spec.config);
+    unsigned threads_eff = threads_req;
+    if (spec.clamp_sim_threads &&
+        uint64_t(jobs_used) * threads_req > hw) {
+        threads_eff = std::max(1u, hw / jobs_used);
+        lmi_warn("sweep: %u job(s) x %u sim thread(s) oversubscribes "
+                 "%u hardware thread(s); clamping sim_threads to %u",
+                 jobs_used, threads_req, hw, threads_eff);
+    }
+
     std::vector<std::function<void()>> jobs;
     jobs.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
@@ -231,7 +252,19 @@ runSweep(const SweepSpec& spec)
                 ++cache_misses; // absent, stale, or truncated entry
             }
 
-            Device dev(cell.config, makeMechanism(cell.mechanism));
+            // sim_threads is deliberately outside the fingerprint
+            // (byte-identical results), so overriding it here never
+            // splits or invalidates the cache.
+            GpuConfig cfg = cell.config;
+            cfg.sim_threads =
+                cfg.sim_threads
+                    ? (spec.clamp_sim_threads
+                           ? std::max(1u, std::min(cfg.sim_threads,
+                                                   hw / jobs_used))
+                           : cfg.sim_threads)
+                    : threads_eff;
+            Device dev(cfg, makeMechanism(cell.mechanism));
+            out.sim_threads = dev.simThreads();
             const WorkloadRun run =
                 runWorkload(dev, cell.workload, cell.scale);
             out.result = run.result;

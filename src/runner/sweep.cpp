@@ -298,7 +298,7 @@ SweepResult::renderCsv() const
                      "ldl", "stl", "l1_hits", "l1_misses", "l2_hits",
                      "l2_misses", "dram_accesses", "faults",
                      "peak_reserved", "wall_ms", "mcycles_per_sec",
-                     "error"});
+                     "sim_threads", "error"});
     for (const CellResult& c : cells) {
         const RunResult& r = c.result;
         table.addRow({c.workload, mechanismKindName(c.mechanism),
@@ -317,7 +317,8 @@ SweepResult::renderCsv() const
                       std::to_string(r.dram_accesses),
                       std::to_string(r.faults.size()),
                       std::to_string(c.peak_reserved), fmtF(c.wall_ms, 3),
-                      fmtF(c.simMcps(), 3), c.error});
+                      fmtF(c.simMcps(), 3), std::to_string(c.sim_threads),
+                      c.error});
     }
     return table.renderCsv();
 }
@@ -341,7 +342,8 @@ SweepResult::renderJson() const
             << ", \"thread_instructions\": " << r.thread_instructions
             << ", \"peak_reserved\": " << c.peak_reserved
             << ", \"wall_ms\": " << fmtDouble(c.wall_ms)
-            << ", \"mcycles_per_sec\": " << fmtDouble(c.simMcps());
+            << ", \"mcycles_per_sec\": " << fmtDouble(c.simMcps())
+            << ", \"sim_threads\": " << c.sim_threads;
         if (!c.error.empty())
             out << ", \"error\": \"" << jsonEscape(c.error) << "\"";
         if (!r.faults.empty()) {

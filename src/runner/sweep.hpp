@@ -81,6 +81,11 @@ struct CellResult
      *  deterministic payload). */
     double wall_ms = 0.0;
 
+    /** Per-launch worker threads the cell ran with (measurement, like
+     *  wall_ms: results are byte-identical for every value, so it is
+     *  not part of the deterministic payload). 0 for cached cells. */
+    unsigned sim_threads = 0;
+
     /** Simulation rate in million cycles per wall-clock second — the
      *  sweep's throughput figure of merit. 0 for cached cells (their
      *  wall clock measures a file read, not simulation). */
@@ -149,8 +154,19 @@ struct SweepSpec
     std::function<GpuConfig(const std::string& workload, MechanismKind,
                             double scale, const GpuConfig& base)> configure;
 
-    /** Worker threads; 0 = hardware concurrency. */
+    /** Worker threads running whole cells; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /**
+     * Worker threads stepping SMs *inside* each cell's launches
+     * (byte-identical results; see GpuConfig::sim_threads). 0 inherits
+     * config.sim_threads / LMI_SIM_THREADS. The two axes share one
+     * thread budget: jobs x sim_threads is clamped to the hardware
+     * concurrency unless clamp_sim_threads is cleared.
+     */
+    unsigned sim_threads = 0;
+    /** Clamp jobs x sim_threads to the host's hardware concurrency
+     *  (cleared by scaling benchmarks that measure oversubscription). */
+    bool clamp_sim_threads = true;
     /** Advisory per-job timeout in seconds; 0 disables. Exceeding it
      *  marks the cell timed_out but never aborts the sweep. */
     double timeout_sec = 0.0;

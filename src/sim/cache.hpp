@@ -63,6 +63,25 @@ class CacheModel
         return false;
     }
 
+    /**
+     * Read-only presence check for @p addr: no LRU update, no fill, no
+     * hit/miss accounting. Safe to call concurrently from many threads
+     * while no access() is running — the parallel simulator probes a
+     * frozen tag array during a slice and replays the accesses through
+     * access() in canonical order at the slice barrier.
+     */
+    bool
+    probe(uint64_t addr) const
+    {
+        const uint64_t line = addr >> line_bits_;
+        const uint64_t set = line % num_sets_;
+        const size_t base = size_t(set) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (sets_[base + w] == line)
+                return true;
+        return false;
+    }
+
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
 

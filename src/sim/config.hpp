@@ -49,6 +49,15 @@ struct GpuConfig
     // --- Local memory --------------------------------------------------
     /** Per-thread stack top VA (driver writes it to c[0x0][0x28]). */
     uint64_t stack_top = kLocalBase + 256 * kKiB;
+
+    // --- Host-side execution (not part of the simulated machine) ------
+    /**
+     * Worker threads stepping SMs inside one launch. 0 = use the
+     * LMI_SIM_THREADS environment variable, else 1 (serial). Results are
+     * byte-identical for every value, so this field is deliberately NOT
+     * folded into hashConfig().
+     */
+    unsigned sim_threads = 0;
 };
 
 /**
@@ -57,6 +66,10 @@ struct GpuConfig
  * The ExperimentRunner's result cache keys cells by this fingerprint, so
  * any field added to GpuConfig MUST be added here too — a missed field
  * makes stale cache entries satisfy runs under the changed config.
+ *
+ * Sole exception: sim_threads. The parallel simulator is byte-identical
+ * to serial execution, so a cached cell is valid under any thread
+ * count; hashing it would needlessly split the cache.
  */
 inline Fnv1a&
 hashConfig(Fnv1a& h, const GpuConfig& c)

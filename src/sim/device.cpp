@@ -205,6 +205,7 @@ Device::launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
     launch.block_threads = block_threads;
     launch.params = std::move(params);
     launch.dynamic_shared_bytes = dynamic_shared_bytes;
+    launch.sim_threads = config_.sim_threads;
     launch.trace = trace;
     launch.sanitizer = sanitizer;
 

@@ -103,6 +103,15 @@ class Device
     const GpuConfig& config() const { return config_; }
     StatRegistry& stats() { return stats_; }
 
+    /**
+     * Worker threads stepping SMs in subsequent launches (results are
+     * byte-identical for every value; see GpuConfig::sim_threads).
+     * 0 restores the default LMI_SIM_THREADS-then-serial resolution.
+     */
+    void setSimThreads(unsigned threads) { config_.sim_threads = threads; }
+    /** Effective worker count the next launch would use. */
+    unsigned simThreads() const { return resolveSimThreads(config_); }
+
   private:
     void init();
     RunResult launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,

@@ -1,11 +1,18 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
 
 #include "common/bitutil.hpp"
 #include "common/logging.hpp"
+#include "common/stats.hpp"
 
 namespace lmi {
 
@@ -46,9 +53,221 @@ evalCmp(CmpOp cmp, int64_t a, int64_t b)
 
 } // namespace
 
+unsigned
+resolveSimThreads(const GpuConfig& config)
+{
+    if (config.sim_threads)
+        return config.sim_threads;
+    if (const char* env = std::getenv("LMI_SIM_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return unsigned(v);
+    }
+    return 1;
+}
+
 // ---------------------------------------------------------------------
 // Internal structures
 // ---------------------------------------------------------------------
+
+/**
+ * One SM's view of global memory during a slice.
+ *
+ * Reads come from a copy-on-write page overlay backed by the frozen
+ * base SparseMemory (via the const peekPage path — the base is never
+ * mutated while workers run). Stores land in the overlay (so the SM
+ * reads its own writes) and append to a byte-accurate log that the
+ * slice barrier replays into the base in canonical SM order.
+ *
+ * Overlay pages persist across slices to avoid re-copying the working
+ * set every kSliceCycles. Cross-slice coherence uses the owner stamps
+ * GpuSim maintains per written page (updated only at barriers): on the
+ * first touch of an overlay page in a slice, the stamp tells whether
+ * any *other* SM stored to the page since this overlay was last synced
+ * — if so the page is re-copied from the (already committed) base.
+ */
+class GpuSim::GlobalMemView
+{
+  public:
+    /** One deferred store, replayed at the slice barrier. */
+    struct StoreRec
+    {
+        uint64_t addr;
+        uint64_t value;
+        uint32_t width;
+    };
+
+    void
+    init(SparseMemory* base,
+         const std::unordered_map<uint64_t, PageStamp>* stamps,
+         uint32_t sm_id)
+    {
+        base_ = base;
+        stamps_ = stamps;
+        sm_id_ = sm_id;
+    }
+
+    void
+    beginSlice(uint64_t slice_no)
+    {
+        cur_slice_ = slice_no;
+        // The barrier may have changed the base and the stamps: drop
+        // the intra-slice page caches.
+        r_idx_ = kNoPage;
+        w_idx_ = kNoPage;
+        // Overlays are a pure cache once their stores are committed;
+        // bound the retained footprint (streaming kernels write pages
+        // they never revisit). Depends only on SM-local state, so the
+        // drop happens identically under every thread count.
+        if (overlays_.size() > kMaxOverlayPages)
+            overlays_.clear();
+    }
+
+    uint64_t
+    read(uint64_t addr, unsigned n)
+    {
+        const uint64_t off = addr % SparseMemory::kPageBytes;
+        if (off + n <= SparseMemory::kPageBytes) {
+            const uint8_t* p = readablePage(addr / SparseMemory::kPageBytes);
+            if (!p)
+                return 0;
+            uint64_t v = 0;
+            std::memcpy(&v, p + off, n);
+            return v;
+        }
+        // Page-crossing read (rare): assemble byte-wise.
+        uint64_t v = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const uint64_t a = addr + i;
+            const uint8_t* p = readablePage(a / SparseMemory::kPageBytes);
+            const uint8_t b = p ? p[a % SparseMemory::kPageBytes] : 0;
+            v |= uint64_t(b) << (8 * i);
+        }
+        return v;
+    }
+
+    void
+    write(uint64_t addr, uint64_t value, unsigned n)
+    {
+        const uint64_t off = addr % SparseMemory::kPageBytes;
+        if (off + n <= SparseMemory::kPageBytes) {
+            std::memcpy(writablePage(addr / SparseMemory::kPageBytes) + off,
+                        &value, n);
+        } else {
+            for (unsigned i = 0; i < n; ++i) {
+                const uint64_t a = addr + i;
+                writablePage(a / SparseMemory::kPageBytes)
+                    [a % SparseMemory::kPageBytes] =
+                        uint8_t(value >> (8 * i));
+            }
+        }
+        log_.push_back({addr, value, n});
+    }
+
+    const std::vector<StoreRec>& log() const { return log_; }
+    void clearLog() { log_.clear(); }
+
+  private:
+    struct Overlay
+    {
+        std::unique_ptr<std::array<uint8_t, SparseMemory::kPageBytes>> data;
+        /** Base-image slice this overlay was last copied at. */
+        uint64_t synced_slice = 0;
+        /** Last slice the stamp was checked (once per slice suffices:
+         *  stamps only change at barriers). */
+        uint64_t checked_slice = 0;
+    };
+
+    static constexpr uint64_t kNoPage = ~uint64_t(0);
+    /** Retained-overlay bound: 512 pages = 2 MiB per SM. */
+    static constexpr size_t kMaxOverlayPages = 512;
+
+    const uint8_t*
+    readablePage(uint64_t page)
+    {
+        if (page == r_idx_)
+            return r_ptr_;
+        const uint8_t* p;
+        auto it = overlays_.find(page);
+        if (it != overlays_.end()) {
+            validate(it->second, page);
+            p = it->second.data->data();
+        } else {
+            p = base_->peekPage(page);
+        }
+        r_idx_ = page;
+        r_ptr_ = p;
+        return p;
+    }
+
+    uint8_t*
+    writablePage(uint64_t page)
+    {
+        if (page == w_idx_)
+            return w_ptr_;
+        auto [it, fresh] = overlays_.try_emplace(page);
+        Overlay& ov = it->second;
+        if (fresh) {
+            ov.data =
+                std::make_unique<std::array<uint8_t,
+                                            SparseMemory::kPageBytes>>();
+            copyFromBase(ov, page);
+        } else {
+            validate(ov, page);
+        }
+        w_idx_ = page;
+        w_ptr_ = ov.data->data();
+        // Reads of this page must now see the overlay.
+        r_idx_ = page;
+        r_ptr_ = w_ptr_;
+        return w_ptr_;
+    }
+
+    /** Re-copy from base if another SM stored to @p page since this
+     *  overlay was synced. Checked at most once per slice. */
+    void
+    validate(Overlay& ov, uint64_t page)
+    {
+        if (ov.checked_slice == cur_slice_)
+            return;
+        ov.checked_slice = cur_slice_;
+        auto it = stamps_->find(page);
+        if (it == stamps_->end())
+            return;
+        const PageStamp& st = it->second;
+        const uint64_t foreign =
+            (st.writer >= 0 && uint32_t(st.writer) == sm_id_)
+                ? st.other_slice
+                : st.slice;
+        if (foreign > ov.synced_slice)
+            copyFromBase(ov, page);
+    }
+
+    void
+    copyFromBase(Overlay& ov, uint64_t page)
+    {
+        const uint8_t* bp = base_->peekPage(page);
+        if (bp)
+            std::memcpy(ov.data->data(), bp, SparseMemory::kPageBytes);
+        else
+            std::memset(ov.data->data(), 0, SparseMemory::kPageBytes);
+        // The base holds every commit through the previous slice.
+        ov.synced_slice = cur_slice_ - 1;
+        ov.checked_slice = cur_slice_;
+    }
+
+    SparseMemory* base_ = nullptr;
+    const std::unordered_map<uint64_t, PageStamp>* stamps_ = nullptr;
+    uint32_t sm_id_ = 0;
+    uint64_t cur_slice_ = 0;
+    std::unordered_map<uint64_t, Overlay> overlays_;
+    std::vector<StoreRec> log_;
+    /** One-entry page caches, valid within a slice. */
+    uint64_t r_idx_ = kNoPage;
+    uint64_t w_idx_ = kNoPage;
+    const uint8_t* r_ptr_ = nullptr;
+    uint8_t* w_ptr_ = nullptr;
+};
 
 struct GpuSim::Warp
 {
@@ -71,6 +290,8 @@ struct GpuSim::Warp
     std::vector<std::pair<uint64_t, uint32_t>> stack; ///< (pc, mask)
     uint64_t stall_until = 0;
     bool at_barrier = false;
+    /** Parked on a device malloc/free until the slice barrier. */
+    bool heap_pending = false;
     /** PC of the BAR this warp is parked on (valid while at_barrier). */
     uint64_t barrier_pc = 0;
     bool done = false;
@@ -107,13 +328,47 @@ struct GpuSim::BlockCtx
 
 struct GpuSim::SmCtx
 {
+    /** A device malloc/free, deferred to the slice barrier (the heap
+     *  allocator is shared, order-dependent state). */
+    struct HeapOp
+    {
+        bool is_malloc = false;
+        uint32_t warp = 0;        ///< index into SmCtx::warps
+        uint64_t cycle = 0;       ///< issue cycle
+        uint64_t seq = 0;         ///< per-SM event order
+        int16_t dst = -1;         ///< malloc result register
+        uint32_t active = 0;      ///< active mask at issue
+        /** Per-lane operand: requested size (malloc) or pointer (free). */
+        std::array<uint64_t, 32> vals{};
+    };
+
+    /** A fault raised during the slice; the barrier picks the winner by
+     *  (cycle, sm_id, seq). */
+    struct PendingFault
+    {
+        uint64_t cycle = 0;
+        uint64_t seq = 0;
+        Fault fault;
+    };
+
+    /** Per-SM result counters, summed in SM order at run end. */
+    struct Counters
+    {
+        uint64_t instructions = 0;
+        uint64_t thread_instructions = 0;
+        uint64_t ldg = 0, stg = 0, lds = 0, sts = 0, ldl = 0, stl = 0;
+        uint64_t l1_hits = 0, l1_misses = 0;
+        uint64_t l2_hits = 0, l2_misses = 0;
+        uint64_t dram_accesses = 0;
+    };
+
     unsigned sm_id = 0;
     uint64_t cycle = 0;
     /** LSU port occupancy: memory instructions serialize here. */
     uint64_t lsu_busy_until = 0;
     CacheModel l1;
-    /** This SM's share of HBM bandwidth (own queue: SMs are simulated
-     *  sequentially, so a shared queue would couple their clocks). */
+    /** This SM's share of HBM bandwidth (own queue, so SM clocks stay
+     *  decoupled). */
     std::unique_ptr<DramModel> dram;
     std::vector<uint32_t> pending_blocks; ///< global block ids to run
     size_t next_block = 0;
@@ -127,12 +382,42 @@ struct GpuSim::SmCtx
     /** Per scheduler: earliest cycle any of its warps can issue, set
      *  by a full scan that found nothing ready. While it lies in the
      *  future the scheduler is skipped outright — warp readiness only
-     *  moves earlier on barrier release or block admission, both of
-     *  which clear the whole array. */
+     *  moves earlier on barrier release, block admission or heap-op
+     *  completion, all of which clear the whole array. */
     std::vector<uint64_t> sched_sleep;
     unsigned live_warps = 0;       ///< warps admitted and not done
     unsigned at_barrier_warps = 0; ///< warps parked on a barrier
+    unsigned heap_pending_warps = 0; ///< warps parked on a heap op
     bool retire_pending = false;   ///< some block completed all warps
+    bool finished = false;         ///< all blocks retired
+    bool stopped = false;          ///< faulted; awaiting the barrier
+    uint64_t idle_guard = 0;       ///< consecutive no-progress cycles
+
+    /** Flat memory arenas: residency bounds cap live blocks/warps, so
+     *  one dense slot pool per SM serves its whole share of the launch.
+     *  Slots are zero-reset when (re)assigned, preserving "fresh memory
+     *  reads zero". Per-SM (not launch-global) so worker threads never
+     *  share them. */
+    std::vector<SparseMemory> shared_arena;
+    std::vector<SparseMemory> local_arena;
+    std::vector<uint32_t> shared_free;
+    std::vector<uint32_t> local_free;
+
+    /** Reusable coalescer scratch. */
+    std::vector<uint64_t> lines_scratch;
+
+    /** Private global-memory view (overlay + store log). */
+    GlobalMemView gview;
+    /** L1-missed line addresses in access order, replayed through the
+     *  shared L2 at the barrier. */
+    std::vector<uint64_t> l2_log;
+    /** Lines this SM already took an L2 probe decision on this slice
+     *  (present after the first touch, whatever the frozen array said). */
+    std::unordered_set<uint64_t> own_lines;
+    std::vector<HeapOp> heap_q;
+    std::vector<PendingFault> fault_q;
+    Counters cnt;
+    uint64_t event_seq = 0;
 
     SmCtx(const GpuConfig& cfg)
         : l1(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes),
@@ -140,6 +425,33 @@ struct GpuSim::SmCtx
           sched_live(cfg.schedulers_per_sm),
           sched_sleep(cfg.schedulers_per_sm, 0)
     {
+    }
+
+    /**
+     * Size the arenas to this SM's actual share of the launch — the
+     * residency caps only matter when enough blocks are pending to hit
+     * them, and a kernel with no local-memory instructions needs no
+     * local slot storage at all (slot ids are still handed out, they
+     * just index nothing).
+     */
+    void
+    initArenas(const GpuConfig& cfg, unsigned warps_per_block,
+               bool uses_local)
+    {
+        const uint32_t resident_blocks = uint32_t(
+            std::min<size_t>(cfg.max_blocks_per_sm, pending_blocks.size()));
+        const uint32_t resident_warps =
+            std::min(cfg.max_warps_per_sm,
+                     resident_blocks * warps_per_block);
+        shared_arena.resize(resident_blocks);
+        shared_free.reserve(resident_blocks);
+        for (uint32_t s = 0; s < resident_blocks; ++s)
+            shared_free.push_back(s);
+        if (uses_local)
+            local_arena.resize(size_t(resident_warps) * cfg.warp_size);
+        local_free.reserve(resident_warps);
+        for (uint32_t s = 0; s < resident_warps; ++s)
+            local_free.push_back(s);
     }
 };
 
@@ -192,6 +504,131 @@ struct GpuSim::ResolvedSrc
     {
         return row ? row[lane] : base + stride * lane;
     }
+};
+
+/**
+ * Epoch-based worker pool, reused across slices.
+ *
+ * runSlice() publishes the slice number under the mutex, wakes the
+ * workers, and participates itself; every participant (workers and the
+ * calling thread) pulls SM indices from one atomic ticket until the
+ * list is exhausted, then the caller waits for the stragglers. Dynamic
+ * ticket assignment is legal because a slice's per-SM work depends only
+ * on that SM's own state and the frozen shared snapshot — which thread
+ * steps which SM cannot affect results.
+ *
+ * Each worker installs a StatShard for its lifetime, so mechanism-side
+ * StatSlot bumps stay thread-private; the owner flushes the shards
+ * (commutative sums, merged by name) after shutdown().
+ */
+class GpuSim::WorkerPool
+{
+  public:
+    WorkerPool(GpuSim& sim, std::vector<SmCtx>& sms, unsigned threads)
+        : sim_(sim), sms_(sms), shards_(threads)
+    {
+        workers_.reserve(threads - 1);
+        for (unsigned i = 1; i < threads; ++i)
+            workers_.emplace_back([this, i] { workerMain(i); });
+    }
+
+    ~WorkerPool()
+    {
+        shutdown();
+    }
+
+    /** Shard for the coordinating (calling) thread. */
+    StatShard& mainShard() { return shards_[0]; }
+
+    void
+    runSlice(uint64_t slice_no)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            slice_no_ = slice_no;
+            ticket_.store(0, std::memory_order_relaxed);
+            active_ = unsigned(workers_.size());
+            ++epoch_;
+        }
+        cv_start_.notify_all();
+        drain(slice_no);
+        std::unique_lock<std::mutex> lock(m_);
+        cv_done_.wait(lock, [this] { return active_ == 0; });
+    }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_start_.notify_all();
+        for (std::thread& t : workers_)
+            if (t.joinable())
+                t.join();
+        workers_.clear();
+    }
+
+    /** Merge every shard's counts into their registries (call after
+     *  shutdown(), from one thread). */
+    void
+    flushShards()
+    {
+        for (StatShard& shard : shards_)
+            shard.flush();
+    }
+
+  private:
+    void
+    drain(uint64_t slice_no)
+    {
+        for (;;) {
+            const uint32_t i =
+                ticket_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= sms_.size())
+                return;
+            sim_.stepSmSlice(sms_[i], slice_no);
+        }
+    }
+
+    void
+    workerMain(unsigned idx)
+    {
+        StatShardScope shard(shards_[idx]);
+        uint64_t seen = 0;
+        for (;;) {
+            uint64_t slice_no;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cv_start_.wait(lock, [this, seen] {
+                    return stop_ || epoch_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = epoch_;
+                slice_no = slice_no_;
+            }
+            drain(slice_no);
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                if (--active_ == 0)
+                    cv_done_.notify_one();
+            }
+        }
+    }
+
+    GpuSim& sim_;
+    std::vector<SmCtx>& sms_;
+    std::vector<StatShard> shards_; ///< [0] = main, [1..] = workers
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_start_, cv_done_;
+    uint64_t epoch_ = 0;
+    uint64_t slice_no_ = 0;
+    unsigned active_ = 0;
+    bool stop_ = false;
+    std::atomic<uint32_t> ticket_{0};
 };
 
 // ---------------------------------------------------------------------
@@ -249,18 +686,6 @@ GpuSim::GpuSim(const GpuConfig& config, ProtectionMechanism& mech,
                     &launch_.params[i], 8);
 
     buildDecodeTable();
-
-    // Flat memory arenas: residency bounds cap live blocks/warps, and SMs
-    // run one after another, so one dense slot pool serves the launch.
-    shared_arena_.resize(config_.max_blocks_per_sm);
-    shared_free_.reserve(shared_arena_.size());
-    for (uint32_t s = 0; s < shared_arena_.size(); ++s)
-        shared_free_.push_back(s);
-    local_arena_.resize(size_t(config_.max_warps_per_sm) *
-                        config_.warp_size);
-    local_free_.reserve(config_.max_warps_per_sm);
-    for (uint32_t s = 0; s < config_.max_warps_per_sm; ++s)
-        local_free_.push_back(s);
 }
 
 GpuSim::~GpuSim() = default;
@@ -410,11 +835,10 @@ GpuSim::operandValue(const Warp& warp, unsigned lane,
 }
 
 void
-GpuSim::recordFault(const Fault& fault)
+GpuSim::pendFault(SmCtx& sm, Fault fault)
 {
-    result_.faults.push_back(fault);
-    result_.aborted = true;
-    abort_ = true;
+    sm.fault_q.push_back({sm.cycle, sm.event_seq++, std::move(fault)});
+    sm.stopped = true;
 }
 
 // ---------------------------------------------------------------------
@@ -434,7 +858,7 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 
     unsigned extra = 0;
     unsigned serialized = 0;
-    std::vector<uint64_t>& lines = lines_scratch_;
+    std::vector<uint64_t>& lines = sm.lines_scratch;
     lines.clear();
 
     const uint64_t total_threads =
@@ -447,13 +871,17 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
         (!is_store && inst.dst >= 0) ? warp.regRow(unsigned(inst.dst))
                                      : nullptr;
     SparseMemory* const local_base =
-        local_arena_.data() + size_t(warp.local_slot) * config_.warp_size;
+        sm.local_arena.empty()
+            ? nullptr // kernel has no local-memory instructions
+            : sm.local_arena.data() +
+                  size_t(warp.local_slot) * config_.warp_size;
 
     MemAccess access;
     access.space = space;
     access.is_store = is_store;
     access.width = inst.width;
     access.imm_offset = inst.imm_offset;
+    access.sm = sm.sm_id;
     access.frame_base = frame_base;
     access.stack_top = config_.stack_top;
     access.shared_limit = shared_limit;
@@ -468,19 +896,20 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 
         MemCheck check = mech_.onMemAccess(access);
         if (check.fault) {
-            recordFault(*check.fault);
+            pendFault(sm, *check.fault);
             return;
         }
         extra = std::max(extra, check.extra_cycles);
         serialized += check.serialize_cycles;
 
-        // Functional access.
+        // Functional access. Global goes through the SM's private view
+        // (frozen base + own-store overlay); shared and local are
+        // SM-private arenas accessed directly.
         const uint64_t addr = check.address;
         SparseMemory* mem = nullptr;
         uint64_t probe_addr = addr;
         switch (space) {
           case MemSpace::Global:
-            mem = &global_mem_;
             break;
           case MemSpace::Shared:
             mem = warp.shared;
@@ -498,7 +927,12 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
             lmi_panic("constant space reached the LSU");
         }
 
-        if (is_store) {
+        if (space == MemSpace::Global) {
+            if (is_store)
+                sm.gview.write(addr, store_val.get(lane), inst.width);
+            else
+                dst_row[lane] = sm.gview.read(addr, inst.width);
+        } else if (is_store) {
             mem->write(addr, store_val.get(lane), inst.width);
         } else {
             dst_row[lane] = mem->read(addr, inst.width);
@@ -524,12 +958,12 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
 
     // Region profile (Fig. 1).
     switch (inst.op) {
-      case Opcode::LDG: ++result_.ldg; break;
-      case Opcode::STG: ++result_.stg; break;
-      case Opcode::LDS: ++result_.lds; break;
-      case Opcode::STS: ++result_.sts; break;
-      case Opcode::LDL: ++result_.ldl; break;
-      case Opcode::STL: ++result_.stl; break;
+      case Opcode::LDG: ++sm.cnt.ldg; break;
+      case Opcode::STG: ++sm.cnt.stg; break;
+      case Opcode::LDS: ++sm.cnt.lds; break;
+      case Opcode::STS: ++sm.cnt.sts; break;
+      case Opcode::LDL: ++sm.cnt.ldl; break;
+      case Opcode::STL: ++sm.cnt.stl; break;
       default: break;
     }
 
@@ -552,16 +986,24 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
             const uint64_t byte_addr = line * config_.line_bytes;
             unsigned lat = config_.l1_latency;
             if (sm.l1.access(byte_addr)) {
-                ++result_.l1_hits;
+                ++sm.cnt.l1_hits;
             } else {
-                ++result_.l1_misses;
+                ++sm.cnt.l1_misses;
                 lat += config_.l2_latency;
-                if (l2_.access(byte_addr)) {
-                    ++result_.l2_hits;
+                // L2 decision against the slice-frozen tag array, plus
+                // the lines this SM itself already pulled in this
+                // slice. The barrier replays l2_log through the real
+                // LRU state in canonical SM order.
+                sm.l2_log.push_back(byte_addr);
+                const bool l2_hit = sm.own_lines.count(line) != 0 ||
+                                    l2_.probe(byte_addr);
+                sm.own_lines.insert(line);
+                if (l2_hit) {
+                    ++sm.cnt.l2_hits;
                 } else {
-                    ++result_.l2_misses;
+                    ++sm.cnt.l2_misses;
                     lat += sm.dram->access(sm.cycle);
-                    ++result_.dram_accesses;
+                    ++sm.cnt.dram_accesses;
                 }
             }
             worst = std::max(worst, lat);
@@ -586,7 +1028,7 @@ GpuSim::warpReadyAt(const Warp& warp) const
     // max over its stall window and every scoreboard dependency. A
     // warp is ready on cycle c iff warpReadyAt(w) <= c, so one scan
     // serves both the GTO pick and the stall fast-forward target.
-    if (warp.done || warp.at_barrier)
+    if (warp.done || warp.at_barrier || warp.heap_pending)
         return ~uint64_t(0);
     uint64_t t = warp.stall_until;
     const InstDesc& d = idesc_[warp.pc];
@@ -609,7 +1051,7 @@ GpuSim::markWarpDone(SmCtx& sm, Warp& warp)
 {
     warp.done = true;
     --sm.live_warps;
-    local_free_.push_back(warp.local_slot);
+    sm.local_free.push_back(warp.local_slot);
     // Release the dead warp's bulk state: resident-warp scans stay
     // cache-resident across long multi-wave launches, and its local
     // slot is free for the next admitted warp.
@@ -658,8 +1100,8 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
 
     const Instruction& inst = program_.code[warp.pc];
     const InstDesc& d = idesc_[warp.pc];
-    ++result_.instructions;
-    result_.thread_instructions += std::popcount(warp.active);
+    ++sm.cnt.instructions;
+    sm.cnt.thread_instructions += std::popcount(warp.active);
 
     const uint64_t cycle = sm.cycle;
     if (launch_.trace) {
@@ -720,7 +1162,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         Fault fault;
         fault.kind = FaultKind(inst.src[0].value);
         fault.detail = "software check trap in " + program_.name;
-        recordFault(fault);
+        pendFault(sm, std::move(fault));
         return true;
       }
 
@@ -741,7 +1183,7 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
                        std::to_string(warp.block) + " warp " +
                        std::to_string(warp.warp_in_block) +
                        " arrived with partial active mask";
-            recordFault(f);
+            pendFault(sm, std::move(f));
             return true;
         }
         warp.at_barrier = true;
@@ -756,48 +1198,25 @@ GpuSim::issueWarp(SmCtx& sm, Warp& warp)
         ++warp.pc;
         return true;
 
-      case Opcode::MALLOC: {
-        for (unsigned lane = 0; lane < warp.lanes; ++lane) {
-            if (!(warp.active & (1u << lane)))
-                continue;
-            const uint64_t size =
-                operandValue(warp, lane, inst.src[0]);
-            const uint64_t ptr =
-                heap_.malloc(warp.first_gtid + lane, size);
-            if (ptr == 0) {
-                Fault f;
-                f.kind = FaultKind::InvalidFree;
-                f.detail = "device heap exhausted";
-                recordFault(f);
-                return true;
-            }
-            mech_.onDeviceAlloc(ptr, size);
-            if (launch_.sanitizer)
-                launch_.sanitizer->onDeviceAlloc(ptr, size);
-            warp.reg(lane, unsigned(inst.dst)) = ptr;
-        }
-        warp.reg_ready[unsigned(inst.dst)] =
-            cycle + config_.malloc_latency +
-            8 * std::popcount(warp.active);
-        ++warp.pc;
-        return true;
-      }
-
+      case Opcode::MALLOC:
       case Opcode::FREE: {
-        for (unsigned lane = 0; lane < warp.lanes; ++lane) {
-            if (!(warp.active & (1u << lane)))
-                continue;
-            const uint64_t ptr = operandValue(warp, lane, inst.src[0]);
-            if (MaybeFault f = mech_.onDeviceFree(ptr)) {
-                recordFault(*f);
-                return true;
-            }
-            if (MaybeFault f = heap_.free(warp.first_gtid + lane, ptr)) {
-                recordFault(*f);
-                return true;
-            }
-        }
-        warp.stall_until = cycle + config_.malloc_latency / 2;
+        // The device heap is shared, order-dependent state: defer the
+        // call to the slice barrier (canonical (sm, seq) order) and
+        // park the warp until then. Operand values are captured now —
+        // register state may change before the barrier runs the op.
+        SmCtx::HeapOp op;
+        op.is_malloc = inst.op == Opcode::MALLOC;
+        op.warp = uint32_t(&warp - sm.warps.data());
+        op.cycle = cycle;
+        op.seq = sm.event_seq++;
+        op.dst = int16_t(inst.dst);
+        op.active = warp.active;
+        for (unsigned lane = 0; lane < warp.lanes; ++lane)
+            if (warp.active & (1u << lane))
+                op.vals[lane] = operandValue(warp, lane, inst.src[0]);
+        sm.heap_q.push_back(op);
+        warp.heap_pending = true;
+        ++sm.heap_pending_warps;
         ++warp.pc;
         return true;
       }
@@ -1031,7 +1450,7 @@ GpuSim::releaseBarriers(SmCtx& sm)
                 std::to_string(waiting) + " warp(s) at a barrier while " +
                 std::to_string(block.num_warps - live) +
                 " warp(s) already exited";
-            recordFault(f);
+            pendFault(sm, std::move(f));
             return;
         }
         if (waiting == live) {
@@ -1045,7 +1464,7 @@ GpuSim::releaseBarriers(SmCtx& sm)
                            ": warps of block " +
                            std::to_string(block.block_id) +
                            " are parked at different barriers";
-                recordFault(f);
+                pendFault(sm, std::move(f));
                 return;
             }
             for (uint32_t wi = block.first_warp;
@@ -1083,11 +1502,11 @@ GpuSim::admitBlocks(SmCtx& sm)
         bc.block_id = bid;
         bc.num_warps = warps_per_block;
         bc.first_warp = uint32_t(sm.warps.size());
-        bc.shared_slot = shared_free_.back();
-        shared_free_.pop_back();
-        shared_arena_[bc.shared_slot].reset();
+        bc.shared_slot = sm.shared_free.back();
+        sm.shared_free.pop_back();
+        sm.shared_arena[bc.shared_slot].reset();
         sm.blocks.push_back(bc);
-        SparseMemory* const shared = &shared_arena_[bc.shared_slot];
+        SparseMemory* const shared = &sm.shared_arena[bc.shared_slot];
 
         for (unsigned wi = 0; wi < warps_per_block; ++wi) {
             Warp w;
@@ -1102,11 +1521,14 @@ GpuSim::admitBlocks(SmCtx& sm)
                                      : ((1u << w.lanes) - 1);
             w.rstride = uint16_t(config_.warp_size);
             w.shared = shared;
-            w.local_slot = local_free_.back();
-            local_free_.pop_back();
-            for (unsigned l = 0; l < config_.warp_size; ++l)
-                local_arena_[size_t(w.local_slot) * config_.warp_size + l]
-                    .reset();
+            w.local_slot = sm.local_free.back();
+            sm.local_free.pop_back();
+            if (!sm.local_arena.empty())
+                for (unsigned l = 0; l < config_.warp_size; ++l)
+                    sm.local_arena[size_t(w.local_slot) *
+                                       config_.warp_size +
+                                   l]
+                        .reset();
             w.reg_ready.assign(nregs_, 0);
             w.regs.assign(size_t(config_.warp_size) * nregs_, 0);
             w.stall_until = sm.cycle;
@@ -1126,7 +1548,7 @@ GpuSim::retireBlocks(SmCtx& sm)
     for (size_t i = 0; i < sm.blocks.size();) {
         BlockCtx& blk = sm.blocks[i];
         if (blk.done_warps >= blk.num_warps) {
-            shared_free_.push_back(blk.shared_slot);
+            sm.shared_free.push_back(blk.shared_slot);
             if (launch_.sanitizer)
                 launch_.sanitizer->onBlockRetire(blk.block_id);
             sm.blocks.erase(sm.blocks.begin() + long(i));
@@ -1146,12 +1568,16 @@ GpuSim::retireBlocks(SmCtx& sm)
 }
 
 void
-GpuSim::runSm(SmCtx& sm)
+GpuSim::stepSmSlice(SmCtx& sm, uint64_t slice_no)
 {
-    admitBlocks(sm);
+    if (sm.finished || sm.stopped)
+        return;
+    const uint64_t slice_end = slice_no * kSliceCycles;
+    if (sm.cycle >= slice_end)
+        return; // stalled across this whole slice
+    sm.gview.beginSlice(slice_no);
 
-    uint64_t idle_guard = 0;
-    while (!abort_) {
+    while (sm.cycle < slice_end) {
         // Retire finished blocks and admit new ones — only on the cycles
         // where a block actually completed; nothing changes otherwise.
         if (sm.retire_pending) {
@@ -1161,11 +1587,16 @@ GpuSim::runSm(SmCtx& sm)
         }
 
         if (sm.live_warps == 0 &&
-            sm.next_block >= sm.pending_blocks.size())
-            break;
+            sm.next_block >= sm.pending_blocks.size()) {
+            sm.finished = true;
+            return;
+        }
 
-        if (sm.at_barrier_warps != 0)
+        if (sm.at_barrier_warps != 0) {
             releaseBarriers(sm);
+            if (sm.stopped)
+                return;
+        }
 
         bool issued = false;
         for (unsigned s = 0; s < config_.schedulers_per_sm; ++s) {
@@ -1213,43 +1644,211 @@ GpuSim::runSm(SmCtx& sm)
                     sm.sched_sleep[s] = min_t;
                 }
                 sm.last_issued[s] = pick;
-                if (abort_)
+                if (sm.stopped)
                     return;
             }
         }
 
         if (issued) {
             ++sm.cycle;
-            idle_guard = 0;
+            sm.idle_guard = 0;
         } else {
             // Stall fast-forward: no warp can issue this cycle, so jump
             // straight to the earliest cycle where one can. Every
             // scheduler is now sleeping (it either just completed a
             // failed full scan, or was already asleep with a still-valid
-            // target), so the earliest wake-up is exact.
+            // target), so the earliest wake-up is exact. Jumps past the
+            // slice end are fine — later slices skip the SM until its
+            // clock re-enters the window — except when a heap op or a
+            // barrier can change readiness first.
             uint64_t next = ~uint64_t(0);
             for (const uint64_t t : sm.sched_sleep)
                 next = std::min(next, t);
             if (next == ~uint64_t(0)) {
-                // Everything is blocked: barriers release next round; if
-                // nothing changes we are deadlocked.
-                ++sm.cycle;
-                if (++idle_guard > 10000)
-                    lmi_panic("SM %u deadlocked at cycle %llu in %s",
-                              sm.sm_id,
-                              static_cast<unsigned long long>(sm.cycle),
-                              program_.name.c_str());
+                if (sm.at_barrier_warps == 0 && sm.heap_pending_warps) {
+                    // Only the slice barrier can unpark them.
+                    sm.cycle = slice_end;
+                    sm.idle_guard = 0;
+                } else {
+                    // Barriers release next round; if nothing changes
+                    // we are deadlocked.
+                    ++sm.cycle;
+                    if (++sm.idle_guard > 10000)
+                        lmi_panic(
+                            "SM %u deadlocked at cycle %llu in %s",
+                            sm.sm_id,
+                            static_cast<unsigned long long>(sm.cycle),
+                            program_.name.c_str());
+                }
             } else {
-                sm.cycle = std::max(next, sm.cycle + 1);
-                idle_guard = 0;
+                uint64_t target = std::max(next, sm.cycle + 1);
+                if (sm.heap_pending_warps)
+                    target = std::min(target, slice_end);
+                sm.cycle = target;
+                sm.idle_guard = 0;
             }
         }
     }
 }
 
 // ---------------------------------------------------------------------
+// Slice barrier
+// ---------------------------------------------------------------------
+
+bool
+GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
+{
+    // (a) Replay global store logs into the base memory in SM order,
+    // tracking which SM(s) wrote each page for the overlay stamps.
+    std::unordered_map<uint64_t, int64_t> writers;
+    for (SmCtx& sm : sms) {
+        uint64_t cached_page = ~uint64_t(0);
+        for (const GlobalMemView::StoreRec& rec : sm.gview.log()) {
+            global_mem_.write(rec.addr, rec.value, rec.width);
+            const uint64_t first = rec.addr / SparseMemory::kPageBytes;
+            const uint64_t last =
+                (rec.addr + rec.width - 1) / SparseMemory::kPageBytes;
+            for (uint64_t p = first; p <= last; ++p) {
+                if (p == cached_page && first == last)
+                    continue; // this SM already recorded on p
+                auto [it, fresh] = writers.try_emplace(p, sm.sm_id);
+                if (!fresh && it->second != int64_t(sm.sm_id))
+                    it->second = -2;
+                cached_page = p;
+            }
+        }
+        sm.gview.clearLog();
+    }
+    for (const auto& [p, w] : writers) {
+        PageStamp& st = page_stamps_[p];
+        if (w == -2) {
+            st.other_slice = slice_no;
+            st.writer = -1;
+        } else {
+            // A previous stamp by a different SM (or by several) means
+            // that write is "foreign" to the new sole writer.
+            if (st.slice != 0 && st.writer != int32_t(w))
+                st.other_slice = st.slice;
+            st.writer = int32_t(w);
+        }
+        st.slice = slice_no;
+    }
+
+    // (b) Replay L2 line traffic through the real LRU array in SM
+    // order; the per-slice own-lines sets start fresh next slice.
+    for (SmCtx& sm : sms) {
+        for (const uint64_t addr : sm.l2_log)
+            l2_.access(addr);
+        sm.l2_log.clear();
+        sm.own_lines.clear();
+    }
+
+    // (c) Execute deferred heap ops in (sm, seq) order and unpark their
+    // warps. Faults (exhaustion, invalid free) join the slice's fault
+    // candidates at their issue position.
+    struct Candidate
+    {
+        uint64_t cycle;
+        uint32_t sm;
+        uint64_t seq;
+        Fault fault;
+    };
+    std::vector<Candidate> candidates;
+    for (SmCtx& sm : sms) {
+        for (SmCtx::HeapOp& op : sm.heap_q) {
+            Warp& w = sm.warps[op.warp];
+            bool faulted = false;
+            for (unsigned lane = 0; lane < w.lanes && !faulted; ++lane) {
+                if (!(op.active & (1u << lane)))
+                    continue;
+                if (op.is_malloc) {
+                    const uint64_t size = op.vals[lane];
+                    const uint64_t ptr =
+                        heap_.malloc(w.first_gtid + lane, size);
+                    if (ptr == 0) {
+                        Fault f;
+                        f.kind = FaultKind::InvalidFree;
+                        f.detail = "device heap exhausted";
+                        candidates.push_back(
+                            {op.cycle, sm.sm_id, op.seq, std::move(f)});
+                        faulted = true;
+                        break;
+                    }
+                    mech_.onDeviceAlloc(ptr, size);
+                    if (launch_.sanitizer)
+                        launch_.sanitizer->onDeviceAlloc(ptr, size);
+                    w.reg(lane, unsigned(op.dst)) = ptr;
+                } else {
+                    const uint64_t ptr = op.vals[lane];
+                    MaybeFault f = mech_.onDeviceFree(ptr);
+                    if (!f)
+                        f = heap_.free(w.first_gtid + lane, ptr);
+                    if (f) {
+                        candidates.push_back(
+                            {op.cycle, sm.sm_id, op.seq, std::move(*f)});
+                        faulted = true;
+                        break;
+                    }
+                }
+            }
+            if (op.is_malloc) {
+                w.reg_ready[unsigned(op.dst)] =
+                    op.cycle + config_.malloc_latency +
+                    8 * std::popcount(op.active);
+            } else {
+                w.stall_until = op.cycle + config_.malloc_latency / 2;
+            }
+            w.heap_pending = false;
+            --sm.heap_pending_warps;
+            // The unparked warp may be issuable before any sleeping
+            // scheduler planned for.
+            std::fill(sm.sched_sleep.begin(), sm.sched_sleep.end(),
+                      uint64_t(0));
+        }
+        sm.heap_q.clear();
+    }
+
+    // (d) Resolve the fault winner: earliest by cycle, then SM id, then
+    // per-SM issue order. Exactly one fault is recorded per launch, and
+    // which one does not depend on the worker schedule.
+    for (SmCtx& sm : sms)
+        for (SmCtx::PendingFault& pf : sm.fault_q)
+            candidates.push_back(
+                {pf.cycle, sm.sm_id, pf.seq, std::move(pf.fault)});
+    if (!candidates.empty()) {
+        size_t win = 0;
+        for (size_t i = 1; i < candidates.size(); ++i) {
+            const Candidate& a = candidates[i];
+            const Candidate& b = candidates[win];
+            if (a.cycle < b.cycle ||
+                (a.cycle == b.cycle &&
+                 (a.sm < b.sm || (a.sm == b.sm && a.seq < b.seq))))
+                win = i;
+        }
+        result_.faults.push_back(std::move(candidates[win].fault));
+        result_.aborted = true;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
 // Top level
 // ---------------------------------------------------------------------
+
+unsigned
+GpuSim::resolveThreads(unsigned used_sms) const
+{
+    unsigned threads = launch_.sim_threads ? launch_.sim_threads
+                                           : resolveSimThreads(config_);
+    if (threads > 1 && (launch_.trace || launch_.sanitizer)) {
+        lmi_inform("sim: %s launch pinned to sim_threads=1 "
+                   "(order-sensitive sink attached)",
+                   launch_.trace ? "traced" : "sanitized");
+        threads = 1;
+    }
+    return std::min(std::max(threads, 1u), used_sms);
+}
 
 RunResult
 GpuSim::run()
@@ -1270,17 +1869,69 @@ GpuSim::run()
             config_.dram_latency,
             config_.dram_bytes_per_cycle / double(used_sms),
             config_.line_bytes);
+        sms.back().gview.init(&global_mem_, &page_stamps_, s);
     }
     for (unsigned b = 0; b < launch_.grid_blocks; ++b)
         sms[b % used_sms].pending_blocks.push_back(b);
+    bool uses_local = false;
+    for (const InstDesc& d : idesc_)
+        uses_local = uses_local ||
+                     (d.is_mem && d.space == MemSpace::Local);
+    const unsigned warps_per_block =
+        (launch_.block_threads + config_.warp_size - 1) /
+        config_.warp_size;
+    for (SmCtx& sm : sms) {
+        sm.initArenas(config_, warps_per_block, uses_local);
+        admitBlocks(sm);
+    }
+
+    // Slice-synchronous execution: private SM slices, then a canonical
+    // commit — identical for every worker count (see file header).
+    const unsigned threads = resolveThreads(used_sms);
+    if (threads <= 1) {
+        for (uint64_t slice_no = 1;; ++slice_no) {
+            bool all_finished = true;
+            for (SmCtx& sm : sms) {
+                stepSmSlice(sm, slice_no);
+                all_finished = all_finished && sm.finished;
+            }
+            if (commitSlice(sms, slice_no) || all_finished)
+                break;
+        }
+    } else {
+        WorkerPool pool(*this, sms, threads);
+        {
+            StatShardScope main_shard(pool.mainShard());
+            for (uint64_t slice_no = 1;; ++slice_no) {
+                pool.runSlice(slice_no);
+                bool all_finished = true;
+                for (const SmCtx& sm : sms)
+                    all_finished = all_finished && sm.finished;
+                if (commitSlice(sms, slice_no) || all_finished)
+                    break;
+            }
+        }
+        pool.shutdown();
+        pool.flushShards();
+    }
 
     uint64_t max_cycle = 0;
-    for (auto& sm : sms) {
-        runSm(sm);
+    for (const SmCtx& sm : sms) {
         max_cycle = std::max(max_cycle, sm.cycle);
         result_.stats.inc("sim.sm_cycles", sm.cycle);
-        if (abort_)
-            break;
+        result_.instructions += sm.cnt.instructions;
+        result_.thread_instructions += sm.cnt.thread_instructions;
+        result_.ldg += sm.cnt.ldg;
+        result_.stg += sm.cnt.stg;
+        result_.lds += sm.cnt.lds;
+        result_.sts += sm.cnt.sts;
+        result_.ldl += sm.cnt.ldl;
+        result_.stl += sm.cnt.stl;
+        result_.l1_hits += sm.cnt.l1_hits;
+        result_.l1_misses += sm.cnt.l1_misses;
+        result_.l2_hits += sm.cnt.l2_hits;
+        result_.l2_misses += sm.cnt.l2_misses;
+        result_.dram_accesses += sm.cnt.dram_accesses;
     }
 
     result_.cycles =

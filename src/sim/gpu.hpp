@@ -17,11 +17,26 @@
  *    integer results), the LSU point (every access), allocation events,
  *    and kernel end.
  *
- * SMs are simulated one after another with private clocks; they share
- * the L2/DRAM models, which is the usual fast-simulation approximation —
- * all paper results are relative measurements on the same model.
+ * Execution model — slice-synchronous, deterministically parallel:
  *
- * Hot-path engineering (results stay byte-identical, see DESIGN.md):
+ * SMs only interact through global memory, the shared L2 and the device
+ * heap. Execution therefore proceeds in fixed slices of kSliceCycles
+ * cycles. Within a slice every SM steps privately against a frozen view
+ * of the shared state: global stores go to a per-SM copy-on-write page
+ * overlay and a store log, L2 lookups are read-only probes against the
+ * frozen tag array (plus the SM's own lines touched this slice), and
+ * device malloc/free park the issuing warp. At the slice barrier a
+ * single thread commits everything in canonical (sm_id, seq) order:
+ * store logs replay into the base memory, L2 probes replay through the
+ * real LRU array, heap ops execute and unpark their warps, and the
+ * earliest fault (by cycle, then SM id, then issue order) aborts the
+ * launch. Because each SM's slice depends only on its own state and the
+ * frozen shared snapshot, and the commit order is fixed, results are
+ * byte-identical for every `sim_threads` value — the worker pool only
+ * changes which host thread steps which SM. See DESIGN.md
+ * ("Deterministic parallel execution").
+ *
+ * Hot-path engineering (see DESIGN.md):
  *
  *  - a per-instruction decode table (InstDesc) resolves operand kinds,
  *    scoreboard register lists, and constant-bank reads once per launch
@@ -29,18 +44,19 @@
  *  - the per-lane register file is laid out register-major (SoA), so the
  *    lane loop of one instruction walks contiguous memory;
  *  - per-thread local and per-block shared memories live in dense,
- *    residency-bounded arenas reused across waves and SMs (slots are
+ *    residency-bounded per-SM arenas reused across waves (slots are
  *    zero-reset on reuse), replacing per-access hash-map lookups;
  *  - the SM loop is gated by live/barrier/retire counters so block
  *    retirement scans, admission and barrier release run only on the
- *    cycles where they can act;
- *  - coalescer transaction lists use a reusable scratch buffer instead
- *    of a per-instruction allocation.
+ *    cycles where they can act, and per-scheduler sleep targets allow
+ *    exact stall fast-forward across slice boundaries;
+ *  - coalescer transaction lists use a per-SM reusable scratch buffer.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/isa.hpp"
@@ -61,11 +77,26 @@ struct Launch
     unsigned block_threads = 32;
     std::vector<uint64_t> params;
     uint64_t dynamic_shared_bytes = 0;
+    /**
+     * Worker threads stepping SMs for this launch. 0 = inherit
+     * GpuConfig::sim_threads (which itself falls back to the
+     * LMI_SIM_THREADS environment variable, then 1). Results are
+     * byte-identical for every value. Traced or sanitized launches are
+     * pinned to 1 (their sinks are inherently order-sensitive).
+     */
+    unsigned sim_threads = 0;
     /** Optional instruction-trace sink (NVBit-style capture). */
     TraceSink* trace = nullptr;
     /** Optional dynamic race sanitizer (purely observational). */
     RaceSanitizer* sanitizer = nullptr;
 };
+
+/**
+ * Effective worker count for @p config: sim_threads if nonzero, else
+ * the LMI_SIM_THREADS environment variable, else 1. (The simulator
+ * additionally caps it at the number of active SMs per launch.)
+ */
+unsigned resolveSimThreads(const GpuConfig& config);
 
 /**
  * Executes one launch. Construct per launch.
@@ -87,11 +118,44 @@ class GpuSim
     struct SmCtx;
     struct InstDesc;
     struct ResolvedSrc;
+    class GlobalMemView;
+    class WorkerPool;
+
+    /**
+     * Slice length in cycles: the granularity at which SMs observe each
+     * other's global stores, L2 fills and heap operations. Part of the
+     * canonical machine semantics (identical for every thread count),
+     * not a tuning knob.
+     */
+    static constexpr uint64_t kSliceCycles = 256;
+
+    /**
+     * Cross-slice write tracking for one global page: the last slice
+     * anyone stored to it, who (−1 = more than one SM in that slice),
+     * and the most recent slice a *different* SM than `writer` did. A
+     * per-SM overlay page synced through slice S is stale iff a write
+     * it would not have produced itself landed after S.
+     */
+    struct PageStamp
+    {
+        uint64_t slice = 0;       ///< last slice with a store (0 = never)
+        uint64_t other_slice = 0; ///< last store by someone != writer
+        int32_t writer = -1;      ///< sole writer in `slice`, or -1
+    };
 
     void buildDecodeTable();
     ResolvedSrc resolveSrc(const Warp& warp, const InstDesc& d,
                            unsigned idx) const;
-    void runSm(SmCtx& sm);
+    /** Step one SM privately up to the end of slice @p slice_no. */
+    void stepSmSlice(SmCtx& sm, uint64_t slice_no);
+    /**
+     * Single-threaded slice barrier: replay store logs and L2 probes,
+     * execute deferred heap ops, resolve the fault winner — all in
+     * canonical (sm_id, seq) order. @return true when the launch
+     * aborts on a fault.
+     */
+    bool commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no);
+    unsigned resolveThreads(unsigned used_sms) const;
     bool issueWarp(SmCtx& sm, Warp& warp);
     void executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst);
     uint64_t operandValue(const Warp& warp, unsigned lane,
@@ -101,7 +165,8 @@ class GpuSim
     void markWarpDone(SmCtx& sm, Warp& warp);
     void releaseBarriers(SmCtx& sm);
     uint64_t warpReadyAt(const Warp& warp) const;
-    void recordFault(const Fault& fault);
+    /** Queue @p fault as this SM's pending fault and stop its slice. */
+    void pendFault(SmCtx& sm, Fault fault);
 
     const GpuConfig& config_;
     ProtectionMechanism& mech_;
@@ -115,26 +180,12 @@ class GpuSim
     std::vector<uint8_t> cbank_;
     CacheModel l2_;
     RunResult result_;
-    bool abort_ = false;
 
     /** Per-instruction predecoded operand/scoreboard metadata. */
     std::vector<InstDesc> idesc_;
 
-    /**
-     * Flat memory arenas. Residency is bounded (max_blocks_per_sm blocks,
-     * max_warps_per_sm warps) and SMs run sequentially, so one dense pool
-     * of slots serves the whole launch: shared_arena_[slot] backs one
-     * resident block, local_arena_[slot * warp_size + lane] one resident
-     * thread. Slots are zero-reset when (re)assigned, which preserves the
-     * "fresh memory reads zero" semantics of the old per-id hash maps.
-     */
-    std::vector<SparseMemory> shared_arena_;
-    std::vector<SparseMemory> local_arena_;
-    std::vector<uint32_t> shared_free_;
-    std::vector<uint32_t> local_free_;
-
-    /** Reusable coalescer scratch (SMs run one at a time). */
-    std::vector<uint64_t> lines_scratch_;
+    /** Global-page write stamps, updated only at slice barriers. */
+    std::unordered_map<uint64_t, PageStamp> page_stamps_;
 };
 
 } // namespace lmi

@@ -56,6 +56,8 @@ struct MemAccess
     uint64_t reg_value = 0;
     int64_t imm_offset = 0;
     uint32_t gtid = 0;
+    /** SM the access issues from (indexes per-SM mechanism state). */
+    uint32_t sm = 0;
     /** Stack frame extent of the issuing thread: [frame_base, stack_top). */
     uint64_t frame_base = 0, stack_top = 0;
     /** Shared-memory footprint of the block. */

@@ -15,15 +15,21 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace lmi {
 
-/** Sparse byte-addressable memory. Not thread-safe (the sim is serial). */
+/**
+ * Sparse byte-addressable memory. Mutation is single-threaded; while no
+ * writer is active, concurrent readers must go through the const
+ * peekPage() path (read()/findPage() mutate the one-entry page cache).
+ */
 class SparseMemory
 {
   public:
@@ -91,8 +97,50 @@ class SparseMemory
         }
     }
 
+    /**
+     * Const page lookup: no materialization and, unlike findPage(), no
+     * one-entry-cache update, so concurrent readers may call it while no
+     * writer is active (the parallel simulator's per-SM views read the
+     * frozen base image through this during a slice). nullptr if the
+     * page was never written.
+     */
+    const uint8_t*
+    peekPage(uint64_t idx) const
+    {
+        auto it = pages_.find(idx);
+        return it == pages_.end() ? nullptr : it->second->data();
+    }
+
     /** Number of materialized pages (for footprint stats). */
     size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Order-independent FNV-1a digest over (page index, contents) in
+     * sorted page order. Two memories with identical byte images have
+     * identical digests regardless of materialization order; the
+     * byte-identity tests compare these across sim_threads settings.
+     */
+    uint64_t
+    digest() const
+    {
+        std::vector<uint64_t> idx;
+        idx.reserve(pages_.size());
+        for (const auto& [i, p] : pages_)
+            idx.push_back(i);
+        std::sort(idx.begin(), idx.end());
+        uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](const uint8_t* p, size_t n) {
+            for (size_t i = 0; i < n; ++i) {
+                h ^= p[i];
+                h *= 1099511628211ull;
+            }
+        };
+        for (uint64_t i : idx) {
+            mix(reinterpret_cast<const uint8_t*>(&i), sizeof(i));
+            mix(pages_.at(i)->data(), kPageBytes);
+        }
+        return h;
+    }
 
     /** Drop all contents: subsequent reads see zeros again. */
     void

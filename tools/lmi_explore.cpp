@@ -38,15 +38,20 @@
  *       ProvenRacy pair or divergent barrier (CI gate).
  *
  * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
- * sweep, security; 0 = all cores, default 1), `--cache DIR` points the
- * on-disk result cache (also via LMI_CACHE_DIR; sweeps only re-simulate
- * cells whose workload/mechanism/scale/config fingerprint changed).
+ * sweep, security; 0 = all cores, default 1), `--sim-threads N` sets
+ * the per-launch SM worker count (run, compare, sweep; byte-identical
+ * results, clamped so jobs x sim_threads never oversubscribes the
+ * host), `--cache DIR` points the on-disk result cache (also via
+ * LMI_CACHE_DIR; sweeps only re-simulate cells whose
+ * workload/mechanism/scale/config fingerprint changed).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "analysis/analysis.hpp"
 #include "common/table.hpp"
@@ -65,6 +70,9 @@ namespace {
 struct GlobalOpts
 {
     unsigned jobs = 1; ///< serial by default; 0 = all cores
+    /** Worker threads inside each launch (0 = config/env default).
+     *  Results are byte-identical for every value. */
+    unsigned sim_threads = 0;
     std::string cache_dir;
     std::string csv_path;
     std::string json_path;
@@ -112,7 +120,12 @@ usage()
         "              [--severity note|warning|error]\n"
         "  lmi_explore races [--workloads a,b] [--seeded] [--dynamic]\n"
         "              [--json FILE]\n"
-        "global flags: --jobs N (0 = all cores), --cache DIR\n");
+        "global flags: --jobs N (0 = all cores), --sim-threads N,\n"
+        "              --cache DIR\n"
+        "  --jobs runs whole cells in parallel; --sim-threads\n"
+        "  parallelizes SM execution inside each launch (results are\n"
+        "  byte-identical; jobs x sim-threads is clamped to the host\n"
+        "  cores)\n");
     return 2;
 }
 
@@ -142,9 +155,12 @@ cmdList()
 }
 
 int
-cmdRun(const std::string& workload, MechanismKind kind, double scale)
+cmdRun(const std::string& workload, MechanismKind kind, double scale,
+       const GlobalOpts& opts)
 {
     Device dev(makeMechanism(kind));
+    if (opts.sim_threads)
+        dev.setSimThreads(opts.sim_threads);
     const WorkloadRun run = runWorkload(dev, findWorkload(workload), scale);
     const RunResult& r = run.result;
 
@@ -202,6 +218,7 @@ cmdCompare(const std::string& workload, double scale,
         spec.mechanisms.push_back(kind);
     spec.scales = {scale};
     spec.jobs = opts.jobs;
+    spec.sim_threads = opts.sim_threads;
     spec.cache_dir = opts.cache_dir;
     const SweepResult sweep = runSweep(spec);
 
@@ -255,8 +272,31 @@ cmdSweep(double scale, const GlobalOpts& opts)
     }
     spec.scales = {scale};
     spec.jobs = opts.jobs;
+    spec.sim_threads = opts.sim_threads;
     spec.cache_dir = opts.cache_dir;
     spec.progress = true;
+
+    // Surface the effective pool size up front: asking for more job
+    // workers than there are cells silently caps at the cell count.
+    const size_t ncells = spec.workloads.size() *
+                          spec.mechanisms.size() * spec.scales.size();
+    if (opts.jobs > ncells)
+        std::printf("note: --jobs %u exceeds the %zu-cell grid; "
+                    "using %zu worker(s)\n",
+                    opts.jobs, ncells, ncells);
+    // The two thread axes share one budget; runSweep clamps the inner
+    // pool when the product overshoots, so say so before the run.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned jobs_eff = unsigned(std::min<size_t>(
+        opts.jobs == 0 ? hw : opts.jobs, std::max<size_t>(ncells, 1)));
+    if (opts.sim_threads &&
+        uint64_t(jobs_eff) * opts.sim_threads > hw)
+        std::fprintf(stderr,
+                     "warning: %u sweep worker(s) x %u sim thread(s) "
+                     "oversubscribes %u hardware thread(s); "
+                     "sim_threads clamps to %u per cell\n",
+                     jobs_eff, opts.sim_threads, hw,
+                     std::max(1u, hw / jobs_eff));
 
     const SweepResult sweep = runSweep(spec);
 
@@ -593,6 +633,8 @@ main(int argc, char** argv)
         std::string value;
         if (flagValue("--jobs", &value))
             opts.jobs = unsigned(std::atoi(value.c_str()));
+        else if (flagValue("--sim-threads", &value))
+            opts.sim_threads = unsigned(std::atoi(value.c_str()));
         else if (flagValue("--cache", &opts.cache_dir) ||
                  flagValue("--csv", &opts.csv_path) ||
                  flagValue("--json", &opts.json_path) ||
@@ -620,7 +662,8 @@ main(int argc, char** argv)
                 return usage();
             return cmdRun(args[1], kind,
                           args.size() > 3 ? std::atof(args[3].c_str())
-                                          : 0.5);
+                                          : 0.5,
+                          opts);
         }
         if (cmd == "compare" && args.size() >= 2)
             return cmdCompare(args[1],
