@@ -69,8 +69,9 @@ runCell(const std::string& name, const WorkloadProfile& profile,
 
     Device dev;
     RaceSanitizer sanitizer;
-    const WorkloadRun run =
-        runWorkload(dev, profile, 0.25, seed, &sanitizer);
+    LaunchOptions opts;
+    opts.sanitizer = &sanitizer;
+    const WorkloadRun run = runWorkload(dev, profile, 0.25, seed, opts);
     cell.dynamic_conflicts = sanitizer.conflictCount();
     for (const Fault& f : run.result.faults)
         if (f.kind == FaultKind::BarrierDivergence)

@@ -23,13 +23,22 @@
  * parallel efficiency per count, recorded under "thread_scaling" in
  * the JSON together with the host's hardware concurrency.
  *
+ * Tier pass: unless `--no-tiers` is given, the basket is re-run under
+ * the functional and sampled execution tiers. Their throughput is
+ * reported as *equivalent* Mcycles/s — the detailed pass's aggregate
+ * cycles divided by the tier's wall clock, i.e. the rate at which the
+ * tier retires the same simulated work — along with the speedup over
+ * detailed and, for the sampled tier, the aggregate cycle-estimate
+ * error against the detailed pass. Recorded under "tiers" in the JSON.
+ *
  * usage: bench_sim_throughput [scale] [--jobs N] [--out FILE]
  *                             [--check FILE] [--tolerance PCT]
- *                             [--threads LIST]
+ *                             [--threads LIST] [--no-tiers]
  */
 
 #include <sys/resource.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -105,9 +114,12 @@ main(int argc, char** argv)
     std::string check_path;
     double tolerance = 30.0;
     std::vector<unsigned> thread_counts;
+    bool run_tiers = true;
     bool scale_seen = false;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+        if (!std::strcmp(argv[i], "--no-tiers")) {
+            run_tiers = false;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             jobs = unsigned(std::atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
             out_path = argv[++i];
@@ -131,7 +143,7 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [scale] [--jobs N] [--out FILE] "
                          "[--check FILE] [--tolerance PCT] "
-                         "[--threads LIST]\n",
+                         "[--threads LIST] [--no-tiers]\n",
                          argv[0]);
             return 2;
         }
@@ -244,6 +256,68 @@ main(int argc, char** argv)
                     scale_table.render().c_str());
     }
 
+    // Tier pass: same basket, same serial engine, other tiers. The
+    // meaningful rate for a tier that estimates cycles is how fast it
+    // retires the *detailed* tier's work, so both tiers are scored as
+    // detailed-aggregate-cycles over their own wall clock.
+    struct TierPoint
+    {
+        std::string name;
+        uint64_t est_cycles = 0; ///< the tier's own cycle estimates
+        double wall_ms = 0.0;
+        double equiv_mcps = 0.0;
+        double speedup = 0.0;
+        double cycle_error_pct = 0.0; ///< sampled only
+    };
+    std::vector<TierPoint> tiers;
+    if (run_tiers) {
+        for (const ExecutionTier tier :
+             {ExecutionTier::Functional, ExecutionTier::Sampled}) {
+            SweepSpec tspec = spec;
+            tspec.tier = tier;
+            const SweepResult ts = runSweep(tspec);
+            if (ts.failures) {
+                std::fprintf(stderr,
+                             "error: %zu cell(s) failed under the %s "
+                             "tier\n",
+                             ts.failures, executionTierName(tier));
+                return 1;
+            }
+            TierPoint pt;
+            pt.name = executionTierName(tier);
+            for (const CellResult& cell : ts.cells) {
+                pt.est_cycles += cell.result.cycles;
+                pt.wall_ms += cell.wall_ms;
+            }
+            pt.equiv_mcps = pt.wall_ms > 0.0
+                                ? double(total.cycles) / pt.wall_ms /
+                                      1000.0
+                                : 0.0;
+            pt.speedup =
+                total.mcps() > 0.0 ? pt.equiv_mcps / total.mcps() : 0.0;
+            if (tier == ExecutionTier::Sampled && total.cycles > 0)
+                pt.cycle_error_pct =
+                    100.0 *
+                    std::abs(double(pt.est_cycles) -
+                             double(total.cycles)) /
+                    double(total.cycles);
+            tiers.push_back(std::move(pt));
+        }
+        TextTable tier_table({"tier", "wall_ms", "equiv_mcycles_per_sec",
+                              "speedup_vs_detailed", "cycle_error"});
+        tier_table.addRow({"detailed", fmtF(total.wall_ms, 1),
+                           fmtF(total.mcps(), 2), "1.00x", "-"});
+        for (const TierPoint& pt : tiers)
+            tier_table.addRow(
+                {pt.name, fmtF(pt.wall_ms, 1), fmtF(pt.equiv_mcps, 2),
+                 fmtF(pt.speedup, 2) + "x",
+                 pt.name == "sampled" ? fmtF(pt.cycle_error_pct, 2) + "%"
+                                      : "-"});
+        std::printf("\nexecution tiers (equivalent rate = detailed "
+                    "cycles / tier wall):\n%s",
+                    tier_table.render().c_str());
+    }
+
     // Read the reference rate before writing: --out and --check may
     // name the same file (refreshing the tracked baseline in place).
     const double base =
@@ -271,6 +345,23 @@ main(int argc, char** argv)
     out << "  \"aggregate_mcycles_per_sec\": " << fmtF(total.mcps(), 3)
         << ",\n";
     out << "  \"peak_rss_kb\": " << rss_kb;
+    if (!tiers.empty()) {
+        out << ",\n  \"tiers\": {\n";
+        for (size_t i = 0; i < tiers.size(); ++i) {
+            const TierPoint& pt = tiers[i];
+            out << "    \"" << pt.name
+                << "\": {\"wall_ms\": " << fmtF(pt.wall_ms, 3)
+                << ", \"est_cycles\": " << pt.est_cycles
+                << ", \"equiv_mcycles_per_sec\": "
+                << fmtF(pt.equiv_mcps, 3)
+                << ", \"speedup_vs_detailed\": " << fmtF(pt.speedup, 3);
+            if (pt.name == "sampled")
+                out << ", \"cycle_error_pct\": "
+                    << fmtF(pt.cycle_error_pct, 3);
+            out << "}" << (i + 1 < tiers.size() ? "," : "") << "\n";
+        }
+        out << "  }";
+    }
     if (!scaling.empty()) {
         out << ",\n  \"host_cpus\": "
             << std::max(1u, std::thread::hardware_concurrency()) << ",\n";

@@ -240,6 +240,7 @@ runSweep(const SweepSpec& spec)
             out.workload = cell.workload.name;
             out.mechanism = cell.mechanism;
             out.scale = cell.scale;
+            out.tier = cell.tier;
             out.fingerprint = cellFingerprint(cell);
 
             if (cache) {
@@ -265,8 +266,11 @@ runSweep(const SweepSpec& spec)
                     : threads_eff;
             Device dev(cfg, makeMechanism(cell.mechanism));
             out.sim_threads = dev.simThreads();
-            const WorkloadRun run =
-                runWorkload(dev, cell.workload, cell.scale);
+            LaunchOptions lopts;
+            lopts.tier = cell.tier;
+            lopts.sampling = cell.sampling;
+            const WorkloadRun run = runWorkload(
+                dev, cell.workload, cell.scale, RaceSeed::None, lopts);
             out.result = run.result;
             out.peak_reserved = run.peak_reserved;
             out.device_stats = dev.stats();

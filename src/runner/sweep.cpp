@@ -16,8 +16,12 @@ namespace {
  *  then miss on fingerprint and get re-simulated.
  *  v2: payload carries a trailing "end=1" sentinel so truncated files
  *  (a killed writer, a partially synced disk) are rejected instead of
- *  silently deserializing a prefix. */
-constexpr uint64_t kCellFormatVersion = 2;
+ *  silently deserializing a prefix.
+ *  v3: the execution tier joins the fingerprint (plus the sampling
+ *  schedule when tier == Sampled) and the payload carries a "tier="
+ *  line — a functional/sampled run must never be served from a
+ *  detailed-tier cache entry or vice versa. */
+constexpr uint64_t kCellFormatVersion = 3;
 
 constexpr const char* kMagic = "lmi-cell-v1";
 
@@ -121,6 +125,16 @@ cellFingerprint(const SweepCell& cell)
     hashProfile(h, cell.workload);
     h.str(mechanismKindName(cell.mechanism));
     h.f64(cell.scale);
+    h.str(executionTierName(cell.tier));
+    // The sampling schedule only shapes the outcome under Sampled;
+    // hashing it unconditionally would miss valid cache entries when a
+    // caller tweaks sampling params for a detailed sweep.
+    if (cell.tier == ExecutionTier::Sampled) {
+        h.u64(cell.sampling.period_slices);
+        h.u64(cell.sampling.warmup_slices);
+        h.u64(cell.sampling.detailed_slices);
+        h.u64(cell.sampling.light_slices);
+    }
     hashConfig(h, cell.config);
     return h.value();
 }
@@ -133,6 +147,7 @@ serializeCellPayload(const CellResult& cell)
     out << "fingerprint=" << fmtHex64(cell.fingerprint) << '\n';
     out << "workload=" << escapeLine(cell.workload) << '\n';
     out << "mechanism=" << mechanismKindName(cell.mechanism) << '\n';
+    out << "tier=" << executionTierName(cell.tier) << '\n';
     out << "scale=" << fmtDouble(cell.scale) << '\n';
     out << "ok=" << (cell.ok ? 1 : 0) << '\n';
     out << "timed_out=" << (cell.timed_out ? 1 : 0) << '\n';
@@ -204,6 +219,9 @@ deserializeCellPayload(const std::string& text, uint64_t expect_fp,
             cell.workload = unescapeLine(value);
         } else if (key == "mechanism") {
             if (!mechanismFromName(value, &cell.mechanism))
+                return false;
+        } else if (key == "tier") {
+            if (!parseExecutionTier(value, &cell.tier))
                 return false;
         } else if (key == "scale") {
             cell.scale = std::strtod(value.c_str(), nullptr);
@@ -292,7 +310,9 @@ SweepResult::find(const std::string& workload, MechanismKind mechanism,
 std::string
 SweepResult::renderCsv() const
 {
-    TextTable table({"workload", "mechanism", "scale", "status",
+    // Columns 1-23 are deterministic simulation outcome; wall_ms and
+    // later are per-run measurements. CI byte-compares the prefix.
+    TextTable table({"workload", "mechanism", "tier", "scale", "status",
                      "from_cache", "timed_out", "cycles", "instructions",
                      "thread_instructions", "ldg", "stg", "lds", "sts",
                      "ldl", "stl", "l1_hits", "l1_misses", "l2_hits",
@@ -302,6 +322,7 @@ SweepResult::renderCsv() const
     for (const CellResult& c : cells) {
         const RunResult& r = c.result;
         table.addRow({c.workload, mechanismKindName(c.mechanism),
+                      executionTierName(c.tier),
                       fmtF(c.scale, 4), c.ok ? "ok" : "error",
                       c.from_cache ? "1" : "0", c.timed_out ? "1" : "0",
                       std::to_string(r.cycles),
@@ -327,12 +348,13 @@ std::string
 SweepResult::renderJson() const
 {
     std::ostringstream out;
-    out << "{\n  \"cells\": [\n";
+    out << "{\n  \"schema_version\": 3,\n  \"cells\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const CellResult& c = cells[i];
         const RunResult& r = c.result;
         out << "    {\"workload\": \"" << jsonEscape(c.workload)
             << "\", \"mechanism\": \"" << mechanismKindName(c.mechanism)
+            << "\", \"tier\": \"" << executionTierName(c.tier)
             << "\", \"scale\": " << fmtDouble(c.scale)
             << ", \"ok\": " << (c.ok ? "true" : "false")
             << ", \"from_cache\": " << (c.from_cache ? "true" : "false")
@@ -402,6 +424,8 @@ SweepSpec::expand() const
                 cell.workload = profile;
                 cell.mechanism = mechanism;
                 cell.scale = scale;
+                cell.tier = tier;
+                cell.sampling = sampling;
                 cell.config =
                     configure ? configure(profile.name, mechanism, scale,
                                           config)

@@ -42,6 +42,12 @@ isSpatialCategory(ViolationCategory category)
 
 namespace {
 
+/** Tier every case launch runs on — set for the duration of an
+ *  evaluateMechanism() call. The case lambdas all funnel through
+ *  execute() below, so one knob retargets the whole suite without
+ *  threading an option through 38 closures. */
+ExecutionTier g_case_tier = ExecutionTier::Detailed;
+
 IrModule
 module(IrFunction f)
 {
@@ -59,8 +65,11 @@ execute(Device& dev, const IrModule& m, const std::string& kernel,
     CaseOutcome outcome;
     try {
         const CompiledKernel ck = dev.compile(m, kernel);
+        LaunchOptions opts;
+        opts.tier = g_case_tier;
+        opts.dynamic_shared_bytes = dyn_shared;
         const RunResult r =
-            dev.launch(ck, grid, block, std::move(params), dyn_shared);
+            dev.launch(ck, grid, block, std::move(params), opts);
         outcome.faults = r.faults;
     } catch (const CompileError&) {
         outcome.compile_rejected = true;
@@ -662,10 +671,11 @@ SecurityScore::temporalTotal() const
 }
 
 SecurityScore
-evaluateMechanism(MechanismKind kind)
+evaluateMechanism(MechanismKind kind, ExecutionTier tier)
 {
     SecurityScore score;
     score.mechanism = kind;
+    g_case_tier = tier;
     for (const ViolationCase& vcase : violationSuite()) {
         Device dev(makeMechanism(kind));
         const CaseOutcome outcome = vcase.run(dev);
@@ -673,6 +683,7 @@ evaluateMechanism(MechanismKind kind)
         if (outcome.detected())
             ++score.detected[vcase.category];
     }
+    g_case_tier = ExecutionTier::Detailed;
     return score;
 }
 

@@ -88,7 +88,11 @@ struct SecurityScore
     unsigned temporalTotal() const;
 };
 
-/** Run the whole suite under @p kind (fresh Device per case). */
-SecurityScore evaluateMechanism(MechanismKind kind);
+/** Run the whole suite under @p kind (fresh Device per case). Every
+ *  case launch runs on @p tier — detection outcomes must not depend on
+ *  the execution tier, which the tier cross-validation tests assert by
+ *  comparing scores across tiers. */
+SecurityScore evaluateMechanism(MechanismKind kind,
+                                ExecutionTier tier = ExecutionTier::Detailed);
 
 } // namespace lmi

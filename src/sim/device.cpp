@@ -158,40 +158,9 @@ Device::compile(const ir::IrModule& m, const std::string& kernel)
 }
 
 RunResult
-Device::launchTraced(const CompiledKernel& kernel, unsigned grid_blocks,
-                     unsigned block_threads, std::vector<uint64_t> params,
-                     TraceSink& trace, uint64_t dynamic_shared_bytes)
-{
-    return launchImpl(kernel, grid_blocks, block_threads,
-                      std::move(params), dynamic_shared_bytes, &trace);
-}
-
-RunResult
-Device::launchSanitized(const CompiledKernel& kernel, unsigned grid_blocks,
-                        unsigned block_threads,
-                        std::vector<uint64_t> params,
-                        RaceSanitizer& sanitizer,
-                        uint64_t dynamic_shared_bytes)
-{
-    return launchImpl(kernel, grid_blocks, block_threads,
-                      std::move(params), dynamic_shared_bytes, nullptr,
-                      &sanitizer);
-}
-
-RunResult
 Device::launch(const CompiledKernel& kernel, unsigned grid_blocks,
                unsigned block_threads, std::vector<uint64_t> params,
-               uint64_t dynamic_shared_bytes)
-{
-    return launchImpl(kernel, grid_blocks, block_threads,
-                      std::move(params), dynamic_shared_bytes, nullptr);
-}
-
-RunResult
-Device::launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
-                   unsigned block_threads, std::vector<uint64_t> params,
-                   uint64_t dynamic_shared_bytes, TraceSink* trace,
-                   RaceSanitizer* sanitizer)
+               const LaunchOptions& options)
 {
     if (block_threads == 0 || grid_blocks == 0)
         lmi_fatal("launch of %s with empty grid", kernel.program.name.c_str());
@@ -199,15 +168,25 @@ Device::launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
         lmi_fatal("launch of %s passes %zu params, kernel expects %u",
                   kernel.program.name.c_str(), params.size(),
                   kernel.program.num_params);
+    if (options.tier == ExecutionTier::Sampled && !options.sampling.valid())
+        lmi_fatal("launch of %s with invalid sampling schedule "
+                  "(period=%u warmup=%u detailed=%u)",
+                  kernel.program.name.c_str(),
+                  options.sampling.period_slices,
+                  options.sampling.warmup_slices,
+                  options.sampling.detailed_slices);
 
     Launch launch;
     launch.grid_blocks = grid_blocks;
     launch.block_threads = block_threads;
     launch.params = std::move(params);
-    launch.dynamic_shared_bytes = dynamic_shared_bytes;
-    launch.sim_threads = config_.sim_threads;
-    launch.trace = trace;
-    launch.sanitizer = sanitizer;
+    launch.dynamic_shared_bytes = options.dynamic_shared_bytes;
+    launch.sim_threads =
+        options.sim_threads ? options.sim_threads : config_.sim_threads;
+    launch.tier = options.tier;
+    launch.sampling = options.sampling;
+    launch.trace = options.trace;
+    launch.sanitizer = options.sanitizer;
 
     GpuSim sim(config_, *mech_, global_mem_, *heap_alloc_, kernel.program,
                std::move(launch));

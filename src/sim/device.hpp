@@ -76,24 +76,18 @@ class Device
     /** Compile under the active mechanism's compiler/DBI flavor. */
     CompiledKernel compile(const ir::IrModule& m, const std::string& kernel);
 
+    /**
+     * Execute @p kernel on the GpuSim engine with the mechanism
+     * attached. The single launch entry point: @p options selects the
+     * execution tier (detailed / functional / sampled), and carries
+     * the trace sink, race sanitizer, dynamic shared memory and
+     * per-launch thread budget that used to be separate overloads.
+     * The default options run the detailed tier, byte-identical to
+     * the historical plain launch.
+     */
     RunResult launch(const CompiledKernel& kernel, unsigned grid_blocks,
                      unsigned block_threads, std::vector<uint64_t> params,
-                     uint64_t dynamic_shared_bytes = 0);
-
-    /** As launch(), additionally streaming every issued instruction into
-     *  @p trace (the NVBit-style capture path). */
-    RunResult launchTraced(const CompiledKernel& kernel,
-                           unsigned grid_blocks, unsigned block_threads,
-                           std::vector<uint64_t> params, TraceSink& trace,
-                           uint64_t dynamic_shared_bytes = 0);
-
-    /** As launch(), additionally reporting every shared/global access to
-     *  @p sanitizer (the dynamic race cross-check; observational only). */
-    RunResult launchSanitized(const CompiledKernel& kernel,
-                              unsigned grid_blocks, unsigned block_threads,
-                              std::vector<uint64_t> params,
-                              RaceSanitizer& sanitizer,
-                              uint64_t dynamic_shared_bytes = 0);
+                     const LaunchOptions& options = {});
 
     // --- Introspection ----------------------------------------------------
     ProtectionMechanism& mechanism() { return *mech_; }
@@ -114,11 +108,6 @@ class Device
 
   private:
     void init();
-    RunResult launchImpl(const CompiledKernel& kernel, unsigned grid_blocks,
-                         unsigned block_threads,
-                         std::vector<uint64_t> params,
-                         uint64_t dynamic_shared_bytes, TraceSink* trace,
-                         RaceSanitizer* sanitizer = nullptr);
 
     GpuConfig config_;
     std::unique_ptr<ProtectionMechanism> mech_;

@@ -62,6 +62,7 @@
 #include "arch/isa.hpp"
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
+#include "sim/launch_options.hpp"
 #include "sim/mechanism.hpp"
 #include "sim/memory.hpp"
 #include "sim/race_sanitizer.hpp"
@@ -85,6 +86,10 @@ struct Launch
      * pinned to 1 (their sinks are inherently order-sensitive).
      */
     unsigned sim_threads = 0;
+    /** Engine tier: detailed timing, functional-only, or sampled. */
+    ExecutionTier tier = ExecutionTier::Detailed;
+    /** Sampled-tier slice schedule (ignored by the other tiers). */
+    SamplingParams sampling;
     /** Optional instruction-trace sink (NVBit-style capture). */
     TraceSink* trace = nullptr;
     /** Optional dynamic race sanitizer (purely observational). */
@@ -146,8 +151,33 @@ class GpuSim
     void buildDecodeTable();
     ResolvedSrc resolveSrc(const Warp& warp, const InstDesc& d,
                            unsigned idx) const;
-    /** Step one SM privately up to the end of slice @p slice_no. */
+    /** Does slice @p slice_no run the detailed-timing machine? Pure
+     *  function of the launch tier and the sampling schedule. */
+    bool sliceIsDetailed(uint64_t slice_no) const;
+    /** Is @p slice_no a *measured* detailed slice (sampled tier only:
+     *  detailed and past the period's warmup prefix)? */
+    bool sliceIsMeasured(uint64_t slice_no) const;
+    /** Step one SM privately up to the end of slice @p slice_no,
+     *  dispatching to the detailed or functional stepper per the
+     *  launch tier and sampling schedule. */
     void stepSmSlice(SmCtx& sm, uint64_t slice_no);
+    /** The cycle-level stepper (the reference machine). */
+    void stepSmSliceDetailed(SmCtx& sm, uint64_t slice_no);
+    /**
+     * The functional fast-forward stepper: executes up to one slice
+     * quantum of warp instructions round-robin with full architectural
+     * and mechanism semantics but no timing, then pins the SM clock to
+     * the slice boundary. Shares commitSlice with the detailed path,
+     * so cross-SM visibility and determinism guarantees carry over.
+     */
+    void stepSmSliceFunctional(SmCtx& sm, uint64_t slice_no);
+    /** Run @p warp functionally until it blocks or @p budget hits 0. */
+    void runWarpFunctional(SmCtx& sm, Warp& warp, uint64_t& budget);
+    /** Functional tier: replace the wall-clock max-cycle with the issue
+     *  bound; sampled tier: publish confidence stats and keep the wall
+     *  clock (the machine ran end to end under its own timing). */
+    uint64_t estimateCycles(const std::vector<SmCtx>& sms,
+                            uint64_t max_cycle);
     /**
      * Single-threaded slice barrier: replay store logs and L2 probes,
      * execute deferred heap ops, resolve the fault winner — all in
@@ -156,8 +186,14 @@ class GpuSim
      */
     bool commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no);
     unsigned resolveThreads(unsigned used_sms) const;
-    bool issueWarp(SmCtx& sm, Warp& warp);
+    /** One issue step; @p kFunctional skips the timing model. The
+     *  false instantiation is the historical detailed issue path. */
+    template <bool kFunctional> bool issueWarpT(SmCtx& sm, Warp& warp);
     void executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst);
+    /** Functional memory execution: mechanism checks, architectural
+     *  state and sanitizing without coalescing, caches or the LSU. */
+    void executeMemoryFunctional(SmCtx& sm, Warp& warp,
+                                 const Instruction& inst);
     uint64_t operandValue(const Warp& warp, unsigned lane,
                           const Operand& op) const;
     void admitBlocks(SmCtx& sm);

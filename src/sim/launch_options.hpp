@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Launch-time options for Device::launch — the single kernel entry
+ * point. One LaunchOptions value carries everything that used to be
+ * spread over the launchTraced/launchSanitized overload family plus the
+ * execution-tier selection of the two-tier engine:
+ *
+ *  - ExecutionTier::Detailed — the cycle-level machine (Table IV
+ *    timing, caches, GTO schedulers). Byte-identical for every
+ *    sim_threads value; this is the reference tier every paper figure
+ *    is measured on.
+ *  - ExecutionTier::Functional — instructions execute with full
+ *    architectural and protection-mechanism semantics (memory state,
+ *    faults, OCU/LSU checks, race sanitizing) but no timing model, no
+ *    cache hierarchy and no scheduler bookkeeping. RunResult::cycles
+ *    degrades to an issue-bound lower-bound estimate.
+ *  - ExecutionTier::Sampled — SMARTS-style alternation of functional
+ *    fast-forward and detailed-timing slices on the slice-synchronous
+ *    engine; total cycles are extrapolated from the measured slices'
+ *    CPI with a confidence estimate (see DESIGN.md, "Two-tier
+ *    execution engine").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmi {
+
+class TraceSink;
+class RaceSanitizer;
+
+/** Which engine tier executes the launch. */
+enum class ExecutionTier : uint8_t {
+    Detailed = 0,
+    Functional = 1,
+    Sampled = 2,
+};
+
+inline const char*
+executionTierName(ExecutionTier tier)
+{
+    switch (tier) {
+      case ExecutionTier::Detailed:   return "detailed";
+      case ExecutionTier::Functional: return "functional";
+      case ExecutionTier::Sampled:    return "sampled";
+    }
+    return "?";
+}
+
+/** Parse "detailed" / "functional" / "sampled". @return false and
+ *  leave @p out untouched on anything else. */
+inline bool
+parseExecutionTier(const std::string& name, ExecutionTier* out)
+{
+    if (name == "detailed") {
+        *out = ExecutionTier::Detailed;
+    } else if (name == "functional") {
+        *out = ExecutionTier::Functional;
+    } else if (name == "sampled") {
+        *out = ExecutionTier::Sampled;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Sampled-tier schedule, in units of engine slices (kSliceCycles
+ * cycles of detailed execution, or one fast-forward quantum). Each
+ * period of `period_slices` runs, in order:
+ *
+ *   1. `warmup_slices` detailed slices (timing re-warms, excluded from
+ *      the CPI estimator),
+ *   2. `detailed_slices` measured detailed slices,
+ *   3. functional fast-forward for the remainder of the period,
+ *   4. `light_slices` "light" slices closing the period: the full
+ *      detailed pipeline (scheduler, scoreboard, mechanism costs) with
+ *      per-access cache/DRAM probes and the LSU port model replaced by
+ *      a per-warp skew around the mean memory latency learned in the
+ *      last detailed window. They disperse the warp convoy
+ *      fast-forward leaves behind, so the next period's warmup starts
+ *      from a re-staggered machine — SMARTS' detailed-warming stage,
+ *      at a fraction of its cost.
+ */
+/**
+ * Defaults are the validated schedule: 4 warmup + 8 measured + 12
+ * fast-forward + 8 light per 32-slice period, the point the Fig. 12
+ * basket cross-validation picked (see DESIGN.md, "Sampling-error
+ * methodology", and the CI tier-crossval gate).
+ */
+struct SamplingParams
+{
+    unsigned period_slices = 32;
+    unsigned warmup_slices = 4;
+    unsigned detailed_slices = 8;
+    unsigned light_slices = 8;
+
+    bool
+    valid() const
+    {
+        return detailed_slices >= 1 && period_slices >= 1 &&
+               warmup_slices + detailed_slices + light_slices <=
+                   period_slices;
+    }
+};
+
+/**
+ * Per-launch options. Everything defaults to the plain detailed launch,
+ * so `dev.launch(kernel, grid, block, params)` keeps its historical
+ * meaning; callers opt into tiers, tracing, sanitizing, dynamic shared
+ * memory or a private thread budget by filling the relevant fields.
+ */
+struct LaunchOptions
+{
+    ExecutionTier tier = ExecutionTier::Detailed;
+    /** Sampled-tier schedule; ignored by the other tiers. */
+    SamplingParams sampling;
+    /** Dynamic shared memory requested for the launch, in bytes. */
+    uint64_t dynamic_shared_bytes = 0;
+    /**
+     * Worker threads stepping SMs for this launch. 0 = inherit the
+     * device's sim_threads (which falls back to LMI_SIM_THREADS, then
+     * 1). Results are byte-identical for every value within a tier.
+     */
+    unsigned sim_threads = 0;
+    /** Optional instruction-trace sink (NVBit-style capture). */
+    TraceSink* trace = nullptr;
+    /** Optional dynamic race sanitizer (purely observational). */
+    RaceSanitizer* sanitizer = nullptr;
+};
+
+} // namespace lmi

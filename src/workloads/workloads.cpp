@@ -601,13 +601,20 @@ buildWorkloadKernel(const WorkloadProfile& p, RaceSeed seed)
 
 WorkloadRun
 runWorkload(Device& dev, const WorkloadProfile& profile, double scale,
-            RaceSeed seed, RaceSanitizer* sanitizer)
+            RaceSeed seed, const LaunchOptions& options)
 {
     WorkloadProfile p = profile;
     if (scale < 1.0) {
         p.grid_blocks = std::max(1u, unsigned(p.grid_blocks * scale));
         p.block_threads =
             std::max(32u, unsigned(p.block_threads * scale));
+    } else if (scale > 1.0) {
+        // Upscale lengthens each thread's element loop instead of
+        // widening the grid: the footprint grows, occupancy and the
+        // block schedule stay identical, and the run reaches the
+        // steady state the sampled tier needs to converge.
+        p.elems_per_thread =
+            std::max(1u, unsigned(p.elems_per_thread * scale));
     }
 
     // Host allocations: the first two back the kernel's in/out buffers.
@@ -630,12 +637,8 @@ runWorkload(Device& dev, const WorkloadProfile& profile, double scale,
         dev.compile(buildWorkloadKernel(p, seed), p.name);
     WorkloadRun run;
     std::vector<uint64_t> params = {ptrs[0], ptrs[1], p.elements()};
-    run.result =
-        sanitizer
-            ? dev.launchSanitized(kernel, p.grid_blocks, p.block_threads,
-                                  std::move(params), *sanitizer)
-            : dev.launch(kernel, p.grid_blocks, p.block_threads,
-                         std::move(params));
+    run.result = dev.launch(kernel, p.grid_blocks, p.block_threads,
+                            std::move(params), options);
     run.peak_reserved = dev.globalAllocator().peakReservedBytes();
     return run;
 }

@@ -161,12 +161,13 @@ struct WorkloadRun
  * Allocate the profile's host buffers on @p dev, then compile and launch
  * the kernel. Scale factors < 1.0 shrink the launch geometry for
  * expensive (DBI) configurations. A non-None @p seed launches the
- * race-seeded kernel variant instead of the clean one. A non-null
- * @p sanitizer observes every shared/global access of the launch.
+ * race-seeded kernel variant instead of the clean one. @p options is
+ * forwarded to Device::launch — execution tier, sampling schedule,
+ * trace sink, race sanitizer.
  */
 WorkloadRun runWorkload(Device& dev, const WorkloadProfile& profile,
                         double scale = 1.0,
                         RaceSeed seed = RaceSeed::None,
-                        RaceSanitizer* sanitizer = nullptr);
+                        const LaunchOptions& options = {});
 
 } // namespace lmi

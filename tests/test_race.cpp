@@ -332,9 +332,9 @@ TEST(RaceSanitizer, CleanLaunchHasNoConflictsAndIdenticalOutput)
         for (unsigned i = 0; i < n; ++i)
             dev.poke32(in + 4 * i, 100 + i);
         const CompiledKernel k = dev.compile(build(), "rev");
-        const RunResult r =
-            sanitizer ? dev.launchSanitized(k, 1, n, {in, out}, *sanitizer)
-                      : dev.launch(k, 1, n, {in, out});
+        LaunchOptions opts;
+        opts.sanitizer = sanitizer;
+        const RunResult r = dev.launch(k, 1, n, {in, out}, opts);
         std::vector<uint32_t> result;
         for (unsigned i = 0; i < n; ++i)
             result.push_back(dev.peek32(out + 4 * i));
@@ -364,7 +364,9 @@ TEST(RaceSanitizer, BroadcastLaunchReportsCrossWarpConflicts)
     const uint64_t out = dev.cudaMalloc(256);
     const CompiledKernel k = dev.compile(module(std::move(f)), "bcast");
     RaceSanitizer sanitizer;
-    const RunResult r = dev.launchSanitized(k, 1, 64, {out}, sanitizer);
+    LaunchOptions opts;
+    opts.sanitizer = &sanitizer;
+    const RunResult r = dev.launch(k, 1, 64, {out}, opts);
     EXPECT_FALSE(r.faulted());
     EXPECT_GT(sanitizer.conflictCount(), 0u);
     ASSERT_FALSE(sanitizer.reports().empty());

@@ -344,12 +344,14 @@ TEST(SweepExport, CsvAndJsonCoverEveryCell)
     // Header + one line per cell.
     EXPECT_EQ(size_t(std::count(csv.begin(), csv.end(), '\n')),
               sweep.cells.size() + 1);
-    EXPECT_NE(csv.find("workload,mechanism,scale,status"),
+    EXPECT_NE(csv.find("workload,mechanism,tier,scale,status"),
               std::string::npos);
     EXPECT_NE(csv.find("t-scatter"), std::string::npos);
 
     const std::string json = sweep.renderJson();
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"cells\""), std::string::npos);
+    EXPECT_NE(json.find("\"tier\": \"detailed\""), std::string::npos);
     EXPECT_NE(json.find("\"t-shared\""), std::string::npos);
     EXPECT_NE(json.find("\"cache_hits\": 0"), std::string::npos);
 

@@ -19,6 +19,15 @@ namespace {
 
 using namespace ir;
 
+/** LaunchOptions with @p sink attached (the old launchTraced). */
+LaunchOptions
+traced(TraceSink& sink)
+{
+    LaunchOptions opts;
+    opts.trace = &sink;
+    return opts;
+}
+
 IrModule
 vaddModule()
 {
@@ -43,7 +52,7 @@ TEST(Trace, StreamMatchesRunCounters)
     const CompiledKernel k = dev.compile(vaddModule(), "vadd");
 
     TraceRecorder recorder;
-    const RunResult r = dev.launchTraced(k, 2, 128, {a, out}, recorder);
+    const RunResult r = dev.launch(k, 2, 128, {a, out}, traced(recorder));
     ASSERT_FALSE(r.faulted());
 
     EXPECT_EQ(recorder.events().size(), r.instructions);
@@ -64,7 +73,7 @@ TEST(Trace, BaselineCarriesNoHints)
     const uint64_t out = dev.cudaMalloc(4096);
     const CompiledKernel k = dev.compile(vaddModule(), "vadd");
     TraceRecorder recorder;
-    dev.launchTraced(k, 1, 64, {a, out}, recorder);
+    dev.launch(k, 1, 64, {a, out}, traced(recorder));
     const TraceAnalysis analysis = analyzeTrace(recorder.events());
     EXPECT_EQ(analysis.hinted, 0u);
     EXPECT_DOUBLE_EQ(analysis.hintedFraction(), 0.0);
@@ -77,7 +86,7 @@ TEST(Trace, CapacityLimitsBufferButCounts)
     const uint64_t out = dev.cudaMalloc(4096);
     const CompiledKernel k = dev.compile(vaddModule(), "vadd");
     TraceRecorder recorder(10);
-    const RunResult r = dev.launchTraced(k, 2, 128, {a, out}, recorder);
+    const RunResult r = dev.launch(k, 2, 128, {a, out}, traced(recorder));
     EXPECT_EQ(recorder.events().size(), 10u);
     EXPECT_EQ(recorder.totalSeen(), r.instructions);
 }
@@ -89,7 +98,7 @@ TEST(Trace, EventsAreWellFormed)
     const uint64_t out = dev.cudaMalloc(4096);
     const CompiledKernel k = dev.compile(vaddModule(), "vadd");
     TraceRecorder recorder;
-    dev.launchTraced(k, 2, 64, {a, out}, recorder);
+    dev.launch(k, 2, 64, {a, out}, traced(recorder));
     for (const TraceEvent& e : recorder.events()) {
         EXPECT_LT(e.pc, k.program.code.size());
         EXPECT_NE(e.active_mask, 0u);
@@ -119,9 +128,9 @@ TEST(Trace, WorkloadCharacterizationMatchesFig13Ratio)
     const uint64_t out = dev.cudaMalloc(p.elements() * 4 + 64);
     const CompiledKernel k = dev.compile(buildWorkloadKernel(p), p.name);
     TraceRecorder recorder;
-    const RunResult r = dev.launchTraced(
-        k, p.grid_blocks, p.block_threads, {in, out, p.elements()},
-        recorder);
+    const RunResult r =
+        dev.launch(k, p.grid_blocks, p.block_threads,
+                   {in, out, p.elements()}, traced(recorder));
     ASSERT_FALSE(r.faulted());
     const TraceAnalysis analysis = analyzeTrace(recorder.events());
     EXPECT_GT(analysis.checkToLdstRatio(), 40.0);

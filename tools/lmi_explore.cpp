@@ -43,7 +43,12 @@
  * results, clamped so jobs x sim_threads never oversubscribes the
  * host), `--cache DIR` points the on-disk result cache (also via
  * LMI_CACHE_DIR; sweeps only re-simulate cells whose
- * workload/mechanism/scale/config fingerprint changed).
+ * workload/mechanism/scale/config/tier fingerprint changed), and
+ * `--tier detailed|functional|sampled` selects the execution tier
+ * (run, compare, sweep, races --dynamic; see sim/launch_options.hpp —
+ * functional skips all timing for speed, sampled interleaves detailed
+ * slices with functional fast-forward and extrapolates cycles).
+ * Unknown `--flags` are an error: usage goes to stderr, exit code 2.
  */
 
 #include <algorithm>
@@ -81,7 +86,37 @@ struct GlobalOpts
     std::string severity = "error"; ///< verify exit-code threshold
     bool seeded = false;  ///< races: include race-seeded variants
     bool dynamic = false; ///< races: also run the dynamic sanitizer
+    /** Execution tier for every simulator launch the command makes. */
+    ExecutionTier tier = ExecutionTier::Detailed;
+    /** Sampled-tier schedule (--sampling P,W,D[,L]). */
+    SamplingParams sampling;
 };
+
+/** LaunchOptions carrying the globally selected tier. */
+LaunchOptions
+tierOptions(const GlobalOpts& opts)
+{
+    LaunchOptions lopts;
+    lopts.tier = opts.tier;
+    lopts.sampling = opts.sampling;
+    return lopts;
+}
+
+/** Parse "P,W,D[,L]" (period, warmup, detailed, light slices) for
+ *  --sampling. L keeps its default when omitted. */
+bool
+parseSampling(const std::string& s, SamplingParams* out)
+{
+    SamplingParams p;
+    const int got =
+        std::sscanf(s.c_str(), "%u,%u,%u,%u", &p.period_slices,
+                    &p.warmup_slices, &p.detailed_slices,
+                    &p.light_slices);
+    if (got < 3 || !p.valid())
+        return false;
+    *out = p;
+    return true;
+}
 
 std::vector<std::string>
 splitCommas(const std::string& s)
@@ -121,11 +156,14 @@ usage()
         "  lmi_explore races [--workloads a,b] [--seeded] [--dynamic]\n"
         "              [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --sim-threads N,\n"
-        "              --cache DIR\n"
+        "              --cache DIR, --tier detailed|functional|sampled,\n"
+        "              --sampling P,W,D[,L] (sampled-tier schedule)\n"
         "  --jobs runs whole cells in parallel; --sim-threads\n"
         "  parallelizes SM execution inside each launch (results are\n"
         "  byte-identical; jobs x sim-threads is clamped to the host\n"
-        "  cores)\n");
+        "  cores); --tier trades timing fidelity for speed (functional\n"
+        "  skips the timing model, sampled extrapolates cycles from\n"
+        "  periodic detailed slices)\n");
     return 2;
 }
 
@@ -161,10 +199,13 @@ cmdRun(const std::string& workload, MechanismKind kind, double scale,
     Device dev(makeMechanism(kind));
     if (opts.sim_threads)
         dev.setSimThreads(opts.sim_threads);
-    const WorkloadRun run = runWorkload(dev, findWorkload(workload), scale);
+    const WorkloadRun run =
+        runWorkload(dev, findWorkload(workload), scale, RaceSeed::None,
+                    tierOptions(opts));
     const RunResult& r = run.result;
 
     TextTable table({"metric", "value"});
+    table.addRow({"tier", executionTierName(opts.tier)});
     table.addRow({"cycles", std::to_string(r.cycles)});
     table.addRow({"warp instructions", std::to_string(r.instructions)});
     table.addRow({"thread instructions",
@@ -187,6 +228,12 @@ cmdRun(const std::string& workload, MechanismKind kind, double scale,
     table.addRow({"peak reserved (host allocs)",
                   std::to_string(run.peak_reserved / 1024) + " KiB"});
     table.addRow({"faults", std::to_string(r.faults.size())});
+    if (opts.tier == ExecutionTier::Sampled) {
+        table.addRow({"sampled CPI",
+                      fmtF(r.stats.gauge("sim.sampled.cpi"), 4)});
+        table.addRow({"sampled ci95",
+                      fmtPct(r.stats.gauge("sim.sampled.ci95_rel_pct"))});
+    }
     std::printf("%s", table.render().c_str());
 
     if (dev.stats().counter("ocu.checks") ||
@@ -217,6 +264,8 @@ cmdCompare(const std::string& workload, double scale,
     for (MechanismKind kind : hardwareComparisonMechanisms())
         spec.mechanisms.push_back(kind);
     spec.scales = {scale};
+    spec.tier = opts.tier;
+    spec.sampling = opts.sampling;
     spec.jobs = opts.jobs;
     spec.sim_threads = opts.sim_threads;
     spec.cache_dir = opts.cache_dir;
@@ -271,6 +320,8 @@ cmdSweep(double scale, const GlobalOpts& opts)
             spec.mechanisms.push_back(kind);
     }
     spec.scales = {scale};
+    spec.tier = opts.tier;
+    spec.sampling = opts.sampling;
     spec.jobs = opts.jobs;
     spec.sim_threads = opts.sim_threads;
     spec.cache_dir = opts.cache_dir;
@@ -380,8 +431,10 @@ cmdSecurity(MechanismKind kind, const GlobalOpts& opts)
 }
 
 /** Version of the machine-readable output of verify/races; bump on any
- *  field change so downstream CI parsers can detect drift. */
-constexpr int kDiagnosticsSchemaVersion = 2;
+ *  field change so downstream CI parsers can detect drift.
+ *  v3: top-level "tier" field (the execution tier behind any dynamic
+ *  execution; static analysis itself is tier-free). */
+constexpr int kDiagnosticsSchemaVersion = 3;
 
 bool
 severityFromName(const std::string& name, analysis::Severity* out)
@@ -421,7 +474,9 @@ cmdVerify(const GlobalOpts& opts)
     size_t total_errors = 0, total_warnings = 0, over_threshold = 0;
     std::string json = "{\n\"schema_version\": " +
                        std::to_string(kDiagnosticsSchemaVersion) +
-                       ",\n\"kernels\": [";
+                       ",\n\"tier\": \"" +
+                       std::string(executionTierName(opts.tier)) +
+                       "\",\n\"kernels\": [";
     TextTable table({"workload", "proven safe", "violating", "unknown",
                      "diagnostics"});
     for (size_t i = 0; i < names.size(); ++i) {
@@ -500,7 +555,9 @@ cmdRaces(const GlobalOpts& opts)
     size_t clean_flagged = 0;
     std::string json = "{\n\"schema_version\": " +
                        std::to_string(kDiagnosticsSchemaVersion) +
-                       ",\n\"kernels\": [";
+                       ",\n\"tier\": \"" +
+                       std::string(executionTierName(opts.tier)) +
+                       "\",\n\"kernels\": [";
     std::vector<std::string> header = {"workload", "pairs", "racy",
                                        "disjoint", "unknown", "div.bar"};
     if (opts.dynamic)
@@ -531,11 +588,14 @@ cmdRaces(const GlobalOpts& opts)
         if (opts.dynamic) {
             // Execute the same kernel under the sanitizer; a divergent
             // barrier faults the launch, which counts as "flagged".
+            // The sanitizer sees the same access stream on every tier,
+            // so --tier functional makes this pass cheap.
             Device dev;
             RaceSanitizer sanitizer;
+            LaunchOptions lopts = tierOptions(opts);
+            lopts.sanitizer = &sanitizer;
             const WorkloadRun run =
-                runWorkload(dev, item.profile, 0.25, item.seed,
-                            &sanitizer);
+                runWorkload(dev, item.profile, 0.25, item.seed, lopts);
             dynamic_conflicts = sanitizer.conflictCount();
             for (size_t r = 0;
                  r < std::min<size_t>(sanitizer.reports().size(), 2); ++r)
@@ -599,9 +659,11 @@ cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
     const CompiledKernel ck =
         dev.compile(buildWorkloadKernel(small), small.name);
     TraceRecorder recorder(events);
+    LaunchOptions lopts;
+    lopts.trace = &recorder;
     const RunResult r =
-        dev.launchTraced(ck, small.grid_blocks, small.block_threads,
-                         {in, out, small.elements()}, recorder);
+        dev.launch(ck, small.grid_blocks, small.block_threads,
+                   {in, out, small.elements()}, lopts);
     for (const TraceEvent& e : recorder.events())
         std::printf("%s\n", traceEventToString(e).c_str());
     std::printf("... %llu events total\n\n",
@@ -635,18 +697,40 @@ main(int argc, char** argv)
             opts.jobs = unsigned(std::atoi(value.c_str()));
         else if (flagValue("--sim-threads", &value))
             opts.sim_threads = unsigned(std::atoi(value.c_str()));
-        else if (flagValue("--cache", &opts.cache_dir) ||
-                 flagValue("--csv", &opts.csv_path) ||
-                 flagValue("--json", &opts.json_path) ||
-                 flagValue("--workloads", &opts.workloads_filter) ||
-                 flagValue("--mechanisms", &opts.mechanisms_filter) ||
-                 flagValue("--severity", &opts.severity))
+        else if (flagValue("--tier", &value)) {
+            if (!parseExecutionTier(value, &opts.tier)) {
+                std::fprintf(stderr,
+                             "error: unknown tier %s (expected "
+                             "detailed|functional|sampled)\n",
+                             value.c_str());
+                return usage();
+            }
+        } else if (flagValue("--sampling", &value)) {
+            if (!parseSampling(value, &opts.sampling)) {
+                std::fprintf(stderr,
+                             "error: bad --sampling %s (expected "
+                             "P,W,D[,L] with W+D+L <= P, D >= 1)\n",
+                             value.c_str());
+                return usage();
+            }
+        } else if (flagValue("--cache", &opts.cache_dir) ||
+                   flagValue("--csv", &opts.csv_path) ||
+                   flagValue("--json", &opts.json_path) ||
+                   flagValue("--workloads", &opts.workloads_filter) ||
+                   flagValue("--mechanisms", &opts.mechanisms_filter) ||
+                   flagValue("--severity", &opts.severity))
             ;
         else if (arg == "--seeded")
             opts.seeded = true;
         else if (arg == "--dynamic")
             opts.dynamic = true;
-        else
+        else if (arg.rfind("--", 0) == 0) {
+            // An unrecognized flag must not fall through to the
+            // positionals: it would silently reparse as a workload or
+            // scale. Reject loudly, usage on stderr.
+            std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+            return usage();
+        } else
             args.push_back(arg);
     }
 
