@@ -344,7 +344,11 @@ main(int argc, char** argv)
     out << "  \"aggregate_wall_ms\": " << fmtF(total.wall_ms, 3) << ",\n";
     out << "  \"aggregate_mcycles_per_sec\": " << fmtF(total.mcps(), 3)
         << ",\n";
-    out << "  \"peak_rss_kb\": " << rss_kb;
+    out << "  \"peak_rss_kb\": " << rss_kb << ",\n";
+    // Always record the host width: rate baselines from a 1-CPU
+    // runner and a wide box are not comparable.
+    out << "  \"host_cpus\": "
+        << std::max(1u, std::thread::hardware_concurrency());
     if (!tiers.empty()) {
         out << ",\n  \"tiers\": {\n";
         for (size_t i = 0; i < tiers.size(); ++i) {
@@ -363,9 +367,7 @@ main(int argc, char** argv)
         out << "  }";
     }
     if (!scaling.empty()) {
-        out << ",\n  \"host_cpus\": "
-            << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
-        out << "  \"thread_scaling\": [\n";
+        out << ",\n  \"thread_scaling\": [\n";
         for (size_t i = 0; i < scaling.size(); ++i) {
             const ScalePoint& pt = scaling[i];
             out << "    {\"threads\": " << pt.threads

@@ -20,6 +20,7 @@ raceVerdictName(RaceVerdict v)
     case RaceVerdict::ProvenDisjoint: return "proven-disjoint";
     case RaceVerdict::Unknown: return "unknown";
     case RaceVerdict::ProvenRacy: return "proven-racy";
+    case RaceVerdict::Synchronized: return "synchronized";
     }
     return "?";
 }
@@ -60,13 +61,6 @@ satMul(int64_t a, int64_t b)
     if (__builtin_mul_overflow(a, b, &r))
         return (a < 0) == (b < 0) ? INT64_MAX : INT64_MIN;
     return r;
-}
-
-int64_t
-floorDiv(int64_t a, int64_t b)
-{
-    int64_t q = a / b, r = a % b;
-    return r != 0 && (r < 0) != (b < 0) ? q - 1 : q;
 }
 
 /** Allocation root of a pointer expression. */
@@ -640,7 +634,7 @@ RaceAnalyzer::decompose(ValueId v)
             if (!mask.ok || mask.tid || mask.cta || !mask.terms.empty())
                 return false;
             const int64_t m = mask.konst;
-            if (m < 0 || (uint64_t(m) + 1 & uint64_t(m)) != 0)
+            if (m < 0 || ((uint64_t(m) + 1) & uint64_t(m)) != 0)
                 return false;
             const Interval iv = affineInterval(val);
             return val.ok && iv.within(0, m);
@@ -972,7 +966,11 @@ RaceAnalyzer::run()
             continue;
         for (ValueId v : f_.blocks[b].insts) {
             const IrInst& in = f_.inst(v);
-            if (in.op != IrOp::Load && in.op != IrOp::Store)
+            const bool atomic = in.op == IrOp::AtomicRmw ||
+                                in.op == IrOp::AtomicCas ||
+                                in.op == IrOp::AtomicLoad ||
+                                in.op == IrOp::AtomicStore;
+            if (in.op != IrOp::Load && in.op != IrOp::Store && !atomic)
                 continue;
             const Type& pt = f_.inst(in.ops[0]).type;
             if (!pt.isPtr())
@@ -980,8 +978,11 @@ RaceAnalyzer::run()
             if (pt.space != MemSpace::Global &&
                 pt.space != MemSpace::Shared)
                 continue;
+            const bool writes =
+                in.op == IrOp::Store ||
+                (atomic && in.op != IrOp::AtomicLoad);
             report.accesses.push_back(
-                {v, in.op == IrOp::Store, pt.space});
+                {v, writes, pt.space, atomic, in.scope});
         }
     }
 
@@ -1028,6 +1029,26 @@ RaceAnalyzer::run()
                 pair.reason = std::move(why);
                 report.pairs.push_back(pair);
             };
+
+            // Properly scoped atomic pairs synchronize instead of
+            // racing, whatever their index expressions do. Shared
+            // memory is private to a block, so cta scope suffices;
+            // global conflicts can span blocks (this analysis cannot
+            // bound which threads collide), so require device scope.
+            if (A.is_atomic && Bc.is_atomic) {
+                const MemScope need = A.space == MemSpace::Shared
+                                          ? MemScope::Cta
+                                          : MemScope::Gpu;
+                if (uint8_t(A.scope) >= uint8_t(need) &&
+                    uint8_t(Bc.scope) >= uint8_t(need)) {
+                    push(RaceVerdict::Synchronized,
+                         A.space == MemSpace::Shared
+                             ? "atomic pair at cta scope on shared "
+                               "memory"
+                             : "atomic pair at device scope");
+                    continue;
+                }
+            }
 
             // Root-level aliasing.
             const Root& r1 = p1.root;

@@ -63,8 +63,16 @@
 
 namespace lmi::analysis {
 
-/** Verdict for one pair of potentially conflicting accesses. */
-enum class RaceVerdict : uint8_t { ProvenDisjoint, Unknown, ProvenRacy };
+/** Verdict for one pair of potentially conflicting accesses.
+ *  Synchronized marks a conflicting pair whose sides are both atomics
+ *  at sufficient scope: the conflict is an intended synchronization
+ *  point, not a data race. */
+enum class RaceVerdict : uint8_t {
+    ProvenDisjoint,
+    Unknown,
+    ProvenRacy,
+    Synchronized,
+};
 
 const char* raceVerdictName(RaceVerdict v);
 
@@ -87,9 +95,12 @@ struct RaceAnalysisOptions
 /** One shared/global access the analyzer reasons about. */
 struct RaceAccess
 {
-    ir::ValueId inst = ir::kNoValue; ///< the Load or Store
+    ir::ValueId inst = ir::kNoValue; ///< Load/Store or atomic access
     bool is_store = false;
     MemSpace space = MemSpace::Global;
+    bool is_atomic = false;
+    /** Synchronization scope (atomics only; meaningless otherwise). */
+    MemScope scope = MemScope::Cta;
 };
 
 /** One analyzed pair of accesses that may touch common memory. */
@@ -116,6 +127,10 @@ struct RaceReport
         return count(RaceVerdict::ProvenDisjoint);
     }
     size_t unknown() const { return count(RaceVerdict::Unknown); }
+    size_t synchronized() const
+    {
+        return count(RaceVerdict::Synchronized);
+    }
 };
 
 /** Run the race/divergence analysis over one (flattened) function. */

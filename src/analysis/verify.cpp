@@ -288,6 +288,61 @@ Verifier::checkInst(ValueId v, const IrInst& in)
             error(v, "store of a void value");
         break;
 
+      case IrOp::AtomicRmw:
+      case IrOp::AtomicCas:
+      case IrOp::AtomicLoad:
+      case IrOp::AtomicStore: {
+        const size_t arity = in.op == IrOp::AtomicCas    ? 3
+                             : in.op == IrOp::AtomicLoad ? 1
+                                                         : 2;
+        if (!checkArity(v, in, arity))
+            break;
+        if (!typeOf(in.ops[0]).isPtr()) {
+            error(v, std::string(irOpName(in.op)) +
+                         " address is not a pointer");
+        } else {
+            const MemSpace space = typeOf(in.ops[0]).space;
+            if (space != MemSpace::Global && space != MemSpace::Shared)
+                error(v, std::string(irOpName(in.op)) + " through " +
+                             memSpaceName(space) + " memory (atomics "
+                             "reach only global and shared memory)");
+        }
+        for (size_t k = 1; k < in.ops.size(); ++k)
+            if (!typeOf(in.ops[k]).isInt())
+                error(v, std::string(irOpName(in.op)) + " operand %" +
+                             std::to_string(in.ops[k]) +
+                             " has non-integer type " +
+                             typeOf(in.ops[k]).toString());
+        if (in.op == IrOp::AtomicStore) {
+            if (hasAcquire(in.order))
+                error(v, "atomicst with an acquire component (a store "
+                         "can only release)");
+            if (!in.type.isVoid())
+                error(v, "atomicst with a result type");
+        } else {
+            if (in.op == IrOp::AtomicLoad && hasRelease(in.order))
+                error(v, "atomicld with a release component (a load "
+                         "can only acquire)");
+            if (!in.type.isInt())
+                error(v, std::string(irOpName(in.op)) +
+                             " result is not an integer");
+        }
+        if (in.op == IrOp::AtomicRmw &&
+            (in.aop == AtomicOp::Cas || in.aop == AtomicOp::Ld ||
+             in.aop == AtomicOp::St))
+            error(v, "atomicrmw with the ISA-internal operation '" +
+                         std::string(atomicOpName(in.aop)) +
+                         "' (use atomiccas/atomicld/atomicst)");
+        break;
+      }
+      case IrOp::Fence:
+        if (!checkArity(v, in, 0))
+            break;
+        if (in.order == MemOrder::Relaxed)
+            error(v, "fence with relaxed ordering (orders nothing; "
+                     "forbidden by the memory model)");
+        break;
+
       case IrOp::IAdd:
       case IrOp::ISub: {
         if (!checkArity(v, in, 2))

@@ -19,6 +19,47 @@ memSpaceName(MemSpace space)
 }
 
 const char*
+memScopeName(MemScope scope)
+{
+    switch (scope) {
+      case MemScope::Cta: return "cta";
+      case MemScope::Gpu: return "gpu";
+      case MemScope::Sys: return "sys";
+    }
+    return "unknown";
+}
+
+const char*
+memOrderName(MemOrder order)
+{
+    switch (order) {
+      case MemOrder::Relaxed: return "relaxed";
+      case MemOrder::Acquire: return "acquire";
+      case MemOrder::Release: return "release";
+      case MemOrder::AcqRel:  return "acqrel";
+    }
+    return "unknown";
+}
+
+const char*
+atomicOpName(AtomicOp op)
+{
+    switch (op) {
+      case AtomicOp::Add:  return "add";
+      case AtomicOp::Exch: return "exch";
+      case AtomicOp::Min:  return "min";
+      case AtomicOp::Max:  return "max";
+      case AtomicOp::And:  return "and";
+      case AtomicOp::Or:   return "or";
+      case AtomicOp::Xor:  return "xor";
+      case AtomicOp::Cas:  return "cas";
+      case AtomicOp::Ld:   return "ld";
+      case AtomicOp::St:   return "st";
+    }
+    return "unknown";
+}
+
+const char*
 opcodeName(Opcode op)
 {
     switch (op) {
@@ -46,6 +87,11 @@ opcodeName(Opcode op)
       case Opcode::LDL:     return "LDL";
       case Opcode::STL:     return "STL";
       case Opcode::LDC:     return "LDC";
+      case Opcode::ATOMG:   return "ATOMG";
+      case Opcode::ATOMS:   return "ATOMS";
+      case Opcode::CASG:    return "CASG";
+      case Opcode::CASS:    return "CASS";
+      case Opcode::MEMBAR:  return "MEMBAR";
       case Opcode::BRA:     return "BRA";
       case Opcode::BAR:     return "BAR.SYNC";
       case Opcode::EXIT:    return "EXIT";
@@ -107,10 +153,27 @@ isMemory(Opcode op)
       case Opcode::STS:
       case Opcode::LDL:
       case Opcode::STL:
+      case Opcode::ATOMG:
+      case Opcode::ATOMS:
+      case Opcode::CASG:
+      case Opcode::CASS:
         return true;
       default:
         return false;
     }
+}
+
+bool
+isAtomic(Opcode op)
+{
+    return op == Opcode::ATOMG || op == Opcode::ATOMS ||
+           op == Opcode::CASG || op == Opcode::CASS;
+}
+
+bool
+isAtomicFamily(Opcode op)
+{
+    return isAtomic(op) || op == Opcode::MEMBAR;
 }
 
 bool
@@ -133,8 +196,13 @@ memSpaceOf(Opcode op)
       case Opcode::LDG:
       case Opcode::STG:
         return MemSpace::Global;
+      case Opcode::ATOMG:
+      case Opcode::CASG:
+        return MemSpace::Global;
       case Opcode::LDS:
       case Opcode::STS:
+      case Opcode::ATOMS:
+      case Opcode::CASS:
         return MemSpace::Shared;
       case Opcode::LDL:
       case Opcode::STL:
@@ -218,6 +286,30 @@ Instruction::toString() const
         s << "." << cmpOpName(cmp);
     if (hints.active)
         s << " [A,S=" << hints.pointer_operand << "]";
+
+    if (isAtomicFamily(op)) {
+        // ATOMG.add.acqrel.gpu R4, [R2], R5 /*4B*/ ; MEMBAR.release.cta
+        if (op == Opcode::ATOMG || op == Opcode::ATOMS)
+            s << "." << atomicOpName(aop);
+        s << "." << memOrderName(order) << "." << memScopeName(scope);
+        if (op == Opcode::MEMBAR)
+            return s.str();
+        bool lead = true;
+        if (dst >= 0) {
+            s << " R" << dst;
+            lead = false;
+        }
+        s << (lead ? " [" : ", [") << operandToString(src[0]);
+        if (imm_offset != 0)
+            s << (imm_offset > 0 ? " + " : " - ") << "0x" << std::hex
+              << (imm_offset > 0 ? imm_offset : -imm_offset) << std::dec;
+        s << "]";
+        for (unsigned i = 1; i < kMaxSrcs; ++i)
+            if (!src[i].isNone())
+                s << ", " << operandToString(src[i]);
+        s << " /*" << int(width) << "B*/";
+        return s.str();
+    }
 
     if (isMemory(op) || op == Opcode::LDC) {
         // LD/ST syntax: LDG R4, [R2 + 0x10]

@@ -31,6 +31,96 @@ enum class MemSpace : uint8_t {
 
 const char* memSpaceName(MemSpace space);
 
+/**
+ * Synchronization scope of an atomic or fence: which set of threads the
+ * operation's ordering/atomicity guarantees extend to (PTX .cta/.gpu/
+ * .sys). Ordered: a wider scope subsumes a narrower one.
+ */
+enum class MemScope : uint8_t {
+    Cta = 0, ///< threads of the same block
+    Gpu = 1, ///< all threads of the grid
+    Sys = 2, ///< whole system (== Gpu in this single-device model)
+};
+
+const char* memScopeName(MemScope scope);
+
+/** Memory ordering of an atomic or fence (C++/PTX semantics subset). */
+enum class MemOrder : uint8_t {
+    Relaxed = 0, ///< atomicity only, no ordering
+    Acquire = 1, ///< later accesses may not move before this one
+    Release = 2, ///< earlier accesses may not move after this one
+    AcqRel = 3,  ///< both
+};
+
+const char* memOrderName(MemOrder order);
+
+/** True when @p order has the acquire (release) component. */
+inline bool
+hasAcquire(MemOrder order)
+{
+    return order == MemOrder::Acquire || order == MemOrder::AcqRel;
+}
+inline bool
+hasRelease(MemOrder order)
+{
+    return order == MemOrder::Release || order == MemOrder::AcqRel;
+}
+
+/**
+ * Read-modify-write operation of an ATOM/CAS instruction. Ld/St are the
+ * ISA-level encodings of atomic loads and stores (an atomic unit op and
+ * an unconditional exchange without result); the IR keeps them as
+ * distinct AtomicLoad/AtomicStore operations.
+ */
+enum class AtomicOp : uint8_t {
+    Add = 0,
+    Exch = 1,
+    Min = 2, ///< unsigned
+    Max = 3, ///< unsigned
+    And = 4,
+    Or = 5,
+    Xor = 6,
+    Cas = 7, ///< compare-and-swap (CASG/CASS only)
+    Ld = 8,  ///< atomic load (no value operand)
+    St = 9,  ///< atomic store (no result)
+};
+
+const char* atomicOpName(AtomicOp op);
+
+/** Truncate @p v to a memory access width of @p width bytes. */
+inline uint64_t
+maskToWidth(uint64_t v, unsigned width)
+{
+    return width >= 8 ? v : (v & ((uint64_t(1) << (width * 8)) - 1));
+}
+
+/**
+ * The RMW data function shared by the engine and the model checker:
+ * old (op) operand at @p width. Min/Max compare unsigned over the
+ * stored width. Returns the new memory value; Ld returns old (no
+ * write), St returns the operand.
+ */
+inline uint64_t
+applyAtomicRmw(AtomicOp aop, uint64_t old, uint64_t operand,
+               unsigned width)
+{
+    const uint64_t a = maskToWidth(old, width);
+    const uint64_t b = maskToWidth(operand, width);
+    switch (aop) {
+      case AtomicOp::Add:  return maskToWidth(a + b, width);
+      case AtomicOp::Exch: return b;
+      case AtomicOp::Min:  return a < b ? a : b;
+      case AtomicOp::Max:  return a > b ? a : b;
+      case AtomicOp::And:  return a & b;
+      case AtomicOp::Or:   return a | b;
+      case AtomicOp::Xor:  return a ^ b;
+      case AtomicOp::St:   return b;
+      case AtomicOp::Ld:   return a;
+      case AtomicOp::Cas:  break; // handled by the CAS paths
+    }
+    return a;
+}
+
 /** Opcodes. Integer ALU ops host the OCU; FP units never see pointers. */
 enum class Opcode : uint8_t {
     // Integer ALU
@@ -52,6 +142,13 @@ enum class Opcode : uint8_t {
     MUFU,   ///< special-function unit op (rcp/sqrt...), timing-relevant
     // Memory
     LDG, STG, LDS, STS, LDL, STL, LDC,
+    // Scoped atomics (aop/scope/order fields select the operation):
+    // ATOM* covers RMW plus the Ld/St encodings of atomic load/store.
+    ATOMG,  ///< global-memory atomic: dst = old, [src0] op= src1
+    ATOMS,  ///< shared-memory atomic
+    CASG,   ///< global CAS: dst = old, [src0] = src2 if old == src1
+    CASS,   ///< shared CAS
+    MEMBAR, ///< memory fence at `scope` with `order`
     // Control
     BRA,    ///< branch to imm target if guard predicate holds
     BAR,    ///< block-wide barrier
@@ -71,8 +168,14 @@ const char* opcodeName(Opcode op);
 bool isIntAlu(Opcode op);
 /** True for opcodes executed on the FP pipeline. */
 bool isFpAlu(Opcode op);
-/** True for memory loads/stores (LDC excluded: constant bank). */
+/** True for memory loads/stores (LDC excluded: constant bank);
+ *  includes the atomic memory opcodes (MEMBAR excluded: no access). */
 bool isMemory(Opcode op);
+/** True for the atomic memory opcodes (ATOMG/ATOMS/CASG/CASS). */
+bool isAtomic(Opcode op);
+/** True for opcodes carrying aop/scope/order microcode fields
+ *  (the atomics plus MEMBAR). */
+bool isAtomicFamily(Opcode op);
 /** True for loads (LDG/LDS/LDL/LDC). */
 bool isLoad(Opcode op);
 /** True for stores. */
@@ -155,6 +258,11 @@ struct Instruction
     uint8_t width = 4;            ///< memory access width in bytes
     int branch_target = -1;       ///< BRA: absolute instruction index
     OcuHints hints;               ///< LMI A/S hint bits (microcode [28:27])
+    /** Atomic family only (ATOM/CAS/MEMBAR): the RMW operation, the
+     *  synchronization scope and the memory ordering. */
+    AtomicOp aop = AtomicOp::Add;
+    MemScope scope = MemScope::Cta;
+    MemOrder order = MemOrder::Relaxed;
 
     /** Render a human-readable disassembly line. */
     std::string toString() const;

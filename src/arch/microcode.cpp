@@ -52,7 +52,11 @@ isEncodable(const Instruction& inst)
     }
     if (wide_users > 1)
         return false;
-    if (inst.imm_offset < -(1 << 23) || inst.imm_offset >= (1 << 23))
+    // Atomic-family words carry aop/scope/order in the top byte of the
+    // offset field, leaving a signed 16-bit immediate offset.
+    const int offset_bits = isAtomicFamily(inst.op) ? 15 : 23;
+    if (inst.imm_offset < -(1 << offset_bits) ||
+        inst.imm_offset >= (1 << offset_bits))
         return false;
     return true;
 }
@@ -98,8 +102,16 @@ packMicrocode(const Instruction& inst)
     mc.lo = insertBits(mc.lo, 60, 53, small[1]);
 
     mc.hi = insertBits(mc.hi, 7, 0, small[2]);
-    mc.hi = insertBits(mc.hi, 31, 8,
-                       uint64_t(inst.imm_offset) & lowMask(24));
+    if (isAtomicFamily(inst.op)) {
+        mc.hi = insertBits(mc.hi, 11, 8, uint64_t(inst.aop));
+        mc.hi = insertBits(mc.hi, 13, 12, uint64_t(inst.scope));
+        mc.hi = insertBits(mc.hi, 15, 14, uint64_t(inst.order));
+        mc.hi = insertBits(mc.hi, 31, 16,
+                           uint64_t(inst.imm_offset) & lowMask(16));
+    } else {
+        mc.hi = insertBits(mc.hi, 31, 8,
+                           uint64_t(inst.imm_offset) & lowMask(24));
+    }
     mc.hi = insertBits(mc.hi, 63, 32, wide_value);
     return mc;
 }
@@ -119,11 +131,22 @@ unpackMicrocode(const Microcode& mc)
     inst.width = uint8_t(bitsOf(mc.lo, 35, 32));
 
     const uint64_t wide_value = bitsOf(mc.hi, 63, 32);
-    // Sign-extend the 24-bit offset.
-    uint64_t off = bitsOf(mc.hi, 31, 8);
-    if (off & (uint64_t(1) << 23))
-        off |= ~lowMask(24);
-    inst.imm_offset = int64_t(off);
+    if (isAtomicFamily(inst.op)) {
+        inst.aop = AtomicOp(bitsOf(mc.hi, 11, 8));
+        inst.scope = MemScope(bitsOf(mc.hi, 13, 12));
+        inst.order = MemOrder(bitsOf(mc.hi, 15, 14));
+        // Sign-extend the 16-bit offset.
+        uint64_t off = bitsOf(mc.hi, 31, 16);
+        if (off & (uint64_t(1) << 15))
+            off |= ~lowMask(16);
+        inst.imm_offset = int64_t(off);
+    } else {
+        // Sign-extend the 24-bit offset.
+        uint64_t off = bitsOf(mc.hi, 31, 8);
+        if (off & (uint64_t(1) << 23))
+            off |= ~lowMask(24);
+        inst.imm_offset = int64_t(off);
+    }
 
     const unsigned kind_lo[kMaxSrcs] = {36, 39, 42};
     const uint64_t small[kMaxSrcs] = {

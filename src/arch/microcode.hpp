@@ -43,6 +43,15 @@
  *   [127:96]  32-bit wide value (one immediate / c-bank offset / branch
  *             target per instruction)
  *
+ * Atomic-family opcodes (ATOM*, CAS*, MEMBAR) need a place for their
+ * aop/scope/order fields; they borrow the top byte of the immediate
+ * offset, which shrinks to a signed 16-bit field for them:
+ *
+ *   [75:72]   atomic RMW operation (AtomicOp)
+ *   [77:76]   synchronization scope (MemScope)
+ *   [79:78]   memory ordering (MemOrder)
+ *   [95:80]   signed 16-bit memory immediate offset
+ *
  * Instructions whose immediates do not fit (e.g. a 64-bit literal) are
  * rejected by pack(); the code generator materializes such values through
  * MOV32I-style two-step sequences or the constant bank, as real SASS does.

@@ -724,6 +724,51 @@ Codegen::lowerInst(ValueId v)
         break;
       }
 
+      case IrOp::AtomicRmw:
+      case IrOp::AtomicCas:
+      case IrOp::AtomicLoad:
+      case IrOp::AtomicStore: {
+        const Type& pt = f_.inst(in.ops[0]).type;
+        const bool shared = pt.space == MemSpace::Shared;
+        if (pt.space != MemSpace::Global && pt.space != MemSpace::Shared)
+            lmi_fatal("%s: atomic through %s memory", f_.name.c_str(),
+                      memSpaceName(pt.space));
+        if (opts_.sw_baggy)
+            emitSwDerefCheck(regOf(in.ops[0]));
+        Instruction mem;
+        if (in.op == IrOp::AtomicCas) {
+            mem = make(shared ? Opcode::CASS : Opcode::CASG,
+                       int(regOf(v)), Operand::reg(regOf(in.ops[0])),
+                       Operand::reg(regOf(in.ops[1])),
+                       Operand::reg(regOf(in.ops[2])));
+            mem.aop = AtomicOp::Cas;
+        } else {
+            mem = make(shared ? Opcode::ATOMS : Opcode::ATOMG,
+                       in.op == IrOp::AtomicStore ? -1 : int(regOf(v)),
+                       Operand::reg(regOf(in.ops[0])));
+            if (in.op == IrOp::AtomicLoad) {
+                mem.aop = AtomicOp::Ld;
+            } else {
+                mem.aop = in.op == IrOp::AtomicStore ? AtomicOp::St
+                                                     : in.aop;
+                mem.src[1] = Operand::reg(regOf(in.ops[1]));
+            }
+        }
+        mem.scope = in.scope;
+        mem.order = in.order;
+        mem.width = uint8_t(pt.elem_size ? pt.elem_size : 4);
+        emit(mem);
+        break;
+      }
+
+      case IrOp::Fence: {
+        Instruction membar = make(Opcode::MEMBAR, -1);
+        membar.scope = in.scope;
+        membar.order = in.order;
+        emit(membar);
+        break;
+      }
+
       case IrOp::IAdd:
       case IrOp::ISub: {
         Instruction a = make(in.op == IrOp::IAdd ? Opcode::IADD

@@ -16,6 +16,11 @@ hasSideEffects(const IrInst& inst)
 {
     switch (inst.op) {
       case IrOp::Store:
+      case IrOp::AtomicRmw: // memory effect even when the result is unused
+      case IrOp::AtomicCas:
+      case IrOp::AtomicLoad: // ordering effect (acquire edge)
+      case IrOp::AtomicStore:
+      case IrOp::Fence:
       case IrOp::Br:
       case IrOp::Jump:
       case IrOp::Ret:

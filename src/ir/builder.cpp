@@ -151,6 +151,80 @@ IrBuilder::store(ValueId ptr, ValueId value)
 
 namespace {
 
+/** Result type of an atomic read on a pointer: width follows the pointee. */
+Type
+atomicResultType(const Type& pt)
+{
+    return pt.elem_size == 8 ? Type::i64() : Type::i32();
+}
+
+} // namespace
+
+ValueId
+IrBuilder::atomicRmw(AtomicOp aop, ValueId ptr, ValueId value,
+                     MemOrder order, MemScope scope)
+{
+    IrInst in;
+    in.op = IrOp::AtomicRmw;
+    in.type = atomicResultType(f_.inst(ptr).type);
+    in.ops = {ptr, value};
+    in.aop = aop;
+    in.order = order;
+    in.scope = scope;
+    return emit(in);
+}
+
+ValueId
+IrBuilder::atomicCas(ValueId ptr, ValueId expected, ValueId desired,
+                     MemOrder order, MemScope scope)
+{
+    IrInst in;
+    in.op = IrOp::AtomicCas;
+    in.type = atomicResultType(f_.inst(ptr).type);
+    in.ops = {ptr, expected, desired};
+    in.order = order;
+    in.scope = scope;
+    return emit(in);
+}
+
+ValueId
+IrBuilder::atomicLoad(ValueId ptr, MemOrder order, MemScope scope)
+{
+    IrInst in;
+    in.op = IrOp::AtomicLoad;
+    in.type = atomicResultType(f_.inst(ptr).type);
+    in.ops = {ptr};
+    in.order = order;
+    in.scope = scope;
+    return emit(in);
+}
+
+void
+IrBuilder::atomicStore(ValueId ptr, ValueId value, MemOrder order,
+                       MemScope scope)
+{
+    IrInst in;
+    in.op = IrOp::AtomicStore;
+    in.type = Type::voidTy();
+    in.ops = {ptr, value};
+    in.order = order;
+    in.scope = scope;
+    emit(in);
+}
+
+void
+IrBuilder::fence(MemOrder order, MemScope scope)
+{
+    IrInst in;
+    in.op = IrOp::Fence;
+    in.type = Type::voidTy();
+    in.order = order;
+    in.scope = scope;
+    emit(in);
+}
+
+namespace {
+
 IrInst
 binop(IrOp op, Type t, ValueId a, ValueId b)
 {

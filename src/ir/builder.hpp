@@ -62,6 +62,22 @@ class IrBuilder
     ValueId load(ValueId ptr);
     void store(ValueId ptr, ValueId value);
 
+    // --- Scoped atomics ------------------------------------------------
+    /** Read-modify-write; yields the old value. */
+    ValueId atomicRmw(AtomicOp aop, ValueId ptr, ValueId value,
+                      MemOrder order = MemOrder::Relaxed,
+                      MemScope scope = MemScope::Gpu);
+    /** Compare-and-swap; yields the old value. */
+    ValueId atomicCas(ValueId ptr, ValueId expected, ValueId desired,
+                      MemOrder order = MemOrder::Relaxed,
+                      MemScope scope = MemScope::Gpu);
+    ValueId atomicLoad(ValueId ptr, MemOrder order = MemOrder::Relaxed,
+                       MemScope scope = MemScope::Gpu);
+    void atomicStore(ValueId ptr, ValueId value,
+                     MemOrder order = MemOrder::Relaxed,
+                     MemScope scope = MemScope::Gpu);
+    void fence(MemOrder order, MemScope scope = MemScope::Gpu);
+
     // --- Arithmetic ----------------------------------------------------
     ValueId iadd(ValueId a, ValueId b);
     ValueId isub(ValueId a, ValueId b);

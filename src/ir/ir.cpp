@@ -55,6 +55,11 @@ irOpName(IrOp op)
       case IrOp::FieldGep:   return "fieldgep";
       case IrOp::Load:       return "load";
       case IrOp::Store:      return "store";
+      case IrOp::AtomicRmw:  return "atomicrmw";
+      case IrOp::AtomicCas:  return "atomiccas";
+      case IrOp::AtomicLoad: return "atomicld";
+      case IrOp::AtomicStore:return "atomicst";
+      case IrOp::Fence:      return "fence";
       case IrOp::IAdd:       return "iadd";
       case IrOp::ISub:       return "isub";
       case IrOp::IMul:       return "imul";
@@ -115,6 +120,13 @@ isTerminator(IrOp op)
     return op == IrOp::Br || op == IrOp::Jump || op == IrOp::Ret;
 }
 
+bool
+isAtomicAccess(IrOp op)
+{
+    return op == IrOp::AtomicRmw || op == IrOp::AtomicCas ||
+           op == IrOp::AtomicLoad || op == IrOp::AtomicStore;
+}
+
 std::string
 IrFunction::toString() const
 {
@@ -138,6 +150,11 @@ IrFunction::toString() const
             s << irOpName(in.op);
             if (in.op == IrOp::ICmp)
                 s << "." << cmpOpName(in.cmp);
+            if (in.op == IrOp::AtomicRmw)
+                s << "." << atomicOpName(in.aop);
+            if (isAtomicAccess(in.op) || in.op == IrOp::Fence)
+                s << "." << memOrderName(in.order) << "."
+                  << memScopeName(in.scope);
             if (in.op == IrOp::ConstInt || in.op == IrOp::Alloca ||
                 in.op == IrOp::Param) {
                 s << " " << in.imm;
@@ -258,6 +275,28 @@ verify(const IrFunction& f)
                 if (!f.inst(in.ops[0]).type.isPtr())
                     lmi_fatal("%s: store address is not a pointer",
                               f.name.c_str());
+                break;
+              case IrOp::AtomicRmw:
+              case IrOp::AtomicStore:
+                checkOperandCount(f, in, 2);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: %s address is not a pointer",
+                              f.name.c_str(), irOpName(in.op));
+                break;
+              case IrOp::AtomicCas:
+                checkOperandCount(f, in, 3);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: atomiccas address is not a pointer",
+                              f.name.c_str());
+                break;
+              case IrOp::AtomicLoad:
+                checkOperandCount(f, in, 1);
+                if (!f.inst(in.ops[0]).type.isPtr())
+                    lmi_fatal("%s: atomicld address is not a pointer",
+                              f.name.c_str());
+                break;
+              case IrOp::Fence:
+                checkOperandCount(f, in, 0);
                 break;
               case IrOp::Br:
                 checkOperandCount(f, in, 1);

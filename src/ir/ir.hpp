@@ -25,7 +25,10 @@
 
 namespace lmi::ir {
 
+using lmi::AtomicOp;
 using lmi::CmpOp;
+using lmi::MemOrder;
+using lmi::MemScope;
 using lmi::MemSpace;
 
 /** Value type. Integers execute as 64-bit; I32 matters for access width. */
@@ -76,6 +79,13 @@ enum class IrOp : uint8_t {
     // Memory
     Load,      ///< *ops[0]
     Store,     ///< *ops[0] = ops[1]
+    // Scoped atomics and fences (aop/scope/order fields select the
+    // operation, the synchronization scope and the memory ordering)
+    AtomicRmw,   ///< old = *ops[0]; *ops[0] = aop(old, ops[1]); yields old
+    AtomicCas,   ///< old = *ops[0]; if (old==ops[1]) *ops[0] = ops[2]
+    AtomicLoad,  ///< atomic *ops[0]
+    AtomicStore, ///< atomic *ops[0] = ops[1]
+    Fence,       ///< ordering fence at `scope` with `order`
     // Integer arithmetic
     IAdd, ISub, IMul, IMin, IShl, IShr, IAnd, IOr, IXor,
     // Float arithmetic
@@ -127,6 +137,9 @@ struct IrInst
     BlockId tbb = 0, fbb = 0;      ///< branch targets
     std::vector<BlockId> phi_blocks; ///< Phi incoming blocks
     std::string name;              ///< SharedRef buffer / Call callee
+    AtomicOp aop = AtomicOp::Add;  ///< AtomicRmw operation
+    MemScope scope = MemScope::Cta;///< atomic/fence synchronization scope
+    MemOrder order = MemOrder::Relaxed; ///< atomic/fence memory ordering
 };
 
 /** A basic block: instruction ids in order; last one is the terminator. */
@@ -177,6 +190,9 @@ struct IrModule
 bool isIntArith(IrOp op);
 /** True when @p op is a block terminator. */
 bool isTerminator(IrOp op);
+/** True when @p op is an atomic memory access (Rmw/Cas/Load/Store;
+ *  Fence excluded: it touches no memory cell). */
+bool isAtomicAccess(IrOp op);
 
 /**
  * Structural verifier: checks terminators, operand validity, type rules

@@ -168,6 +168,9 @@ opTable()
         {"gep", IrOp::Gep},          {"ptraddbyte", IrOp::PtrAddByte},
         {"fieldgep", IrOp::FieldGep},
         {"load", IrOp::Load},        {"store", IrOp::Store},
+        {"atomicrmw", IrOp::AtomicRmw}, {"atomiccas", IrOp::AtomicCas},
+        {"atomicld", IrOp::AtomicLoad}, {"atomicst", IrOp::AtomicStore},
+        {"fence", IrOp::Fence},
         {"iadd", IrOp::IAdd},        {"isub", IrOp::ISub},
         {"imul", IrOp::IMul},        {"imin", IrOp::IMin},
         {"ishl", IrOp::IShl},        {"ishr", IrOp::IShr},
@@ -198,6 +201,38 @@ parseCmp(const std::string& name, LineLexer& lex)
     if (name == "GT") return CmpOp::GT;
     if (name == "GE") return CmpOp::GE;
     lex.fail("unknown comparison '" + name + "'");
+}
+
+AtomicOp
+parseAop(const std::string& name, LineLexer& lex)
+{
+    if (name == "add")  return AtomicOp::Add;
+    if (name == "exch") return AtomicOp::Exch;
+    if (name == "min")  return AtomicOp::Min;
+    if (name == "max")  return AtomicOp::Max;
+    if (name == "and")  return AtomicOp::And;
+    if (name == "or")   return AtomicOp::Or;
+    if (name == "xor")  return AtomicOp::Xor;
+    lex.fail("unknown atomic operation '" + name + "'");
+}
+
+MemOrder
+parseOrder(const std::string& name, LineLexer& lex)
+{
+    if (name == "relaxed") return MemOrder::Relaxed;
+    if (name == "acquire") return MemOrder::Acquire;
+    if (name == "release") return MemOrder::Release;
+    if (name == "acqrel")  return MemOrder::AcqRel;
+    lex.fail("unknown memory ordering '" + name + "'");
+}
+
+MemScope
+parseScope(const std::string& name, LineLexer& lex)
+{
+    if (name == "cta") return MemScope::Cta;
+    if (name == "gpu") return MemScope::Gpu;
+    if (name == "sys") return MemScope::Sys;
+    lex.fail("unknown memory scope '" + name + "'");
 }
 
 struct PendingLine
@@ -404,18 +439,51 @@ parseFunction(const std::string& text)
         std::string mnemonic = lex.ident();
         IrInst inst;
 
-        // icmp.<CMP>
+        // icmp.<CMP>; atomicrmw.<aop>.<order>.<scope>;
+        // atomiccas/atomicld/atomicst/fence.<order>.<scope>
         std::string cmp_suffix;
+        std::string atomic_suffix;
         const size_t dot = mnemonic.find('.');
-        if (dot != std::string::npos && mnemonic.substr(0, dot) == "icmp") {
-            cmp_suffix = mnemonic.substr(dot + 1);
-            mnemonic = "icmp";
+        if (dot != std::string::npos) {
+            const std::string head = mnemonic.substr(0, dot);
+            if (head == "icmp") {
+                cmp_suffix = mnemonic.substr(dot + 1);
+                mnemonic = "icmp";
+            } else if (head == "atomicrmw" || head == "atomiccas" ||
+                       head == "atomicld" || head == "atomicst" ||
+                       head == "fence") {
+                atomic_suffix = mnemonic.substr(dot + 1);
+                mnemonic = head;
+            }
         }
 
         auto it = opTable().find(mnemonic);
         if (it == opTable().end())
             lex.fail("unknown opcode '" + mnemonic + "'");
         inst.op = it->second;
+
+        if (isAtomicAccess(inst.op) || inst.op == IrOp::Fence) {
+            std::vector<std::string> parts;
+            size_t start = 0;
+            while (start <= atomic_suffix.size()) {
+                const size_t next = atomic_suffix.find('.', start);
+                parts.push_back(atomic_suffix.substr(
+                    start, next == std::string::npos ? next : next - start));
+                if (next == std::string::npos)
+                    break;
+                start = next + 1;
+            }
+            const size_t expected = inst.op == IrOp::AtomicRmw ? 3 : 2;
+            if (atomic_suffix.empty() || parts.size() != expected)
+                lex.fail("expected " + std::string(mnemonic) + ".<" +
+                         (expected == 3 ? "aop>.<order>.<scope>"
+                                        : "order>.<scope>") + " suffix");
+            size_t p = 0;
+            if (inst.op == IrOp::AtomicRmw)
+                inst.aop = parseAop(parts[p++], lex);
+            inst.order = parseOrder(parts[p++], lex);
+            inst.scope = parseScope(parts[p++], lex);
+        }
 
         switch (inst.op) {
           case IrOp::ConstInt:

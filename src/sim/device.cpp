@@ -187,6 +187,7 @@ Device::launch(const CompiledKernel& kernel, unsigned grid_blocks,
     launch.sampling = options.sampling;
     launch.trace = options.trace;
     launch.sanitizer = options.sanitizer;
+    launch.memlog = options.memlog;
 
     GpuSim sim(config_, *mech_, global_mem_, *heap_alloc_, kernel.program,
                std::move(launch));

@@ -291,7 +291,8 @@ struct GpuSim::Warp
     std::vector<std::pair<uint64_t, uint32_t>> stack; ///< (pc, mask)
     uint64_t stall_until = 0;
     bool at_barrier = false;
-    /** Parked on a device malloc/free until the slice barrier. */
+    /** Parked on a device malloc/free or a global atomic until the
+     *  slice barrier executes the deferred operation. */
     bool heap_pending = false;
     /** PC of the BAR this warp is parked on (valid while at_barrier). */
     uint64_t barrier_pc = 0;
@@ -341,6 +342,26 @@ struct GpuSim::SmCtx
         uint32_t active = 0;      ///< active mask at issue
         /** Per-lane operand: requested size (malloc) or pointer (free). */
         std::array<uint64_t, 32> vals{};
+    };
+
+    /** A global-memory atomic (ATOMG/CASG), deferred to the slice
+     *  barrier: per-SM overlays would lose cross-SM read-modify-write
+     *  atomicity within a slice, so the operation executes against the
+     *  base memory in canonical (sm, seq) order. Addresses are already
+     *  mechanism-checked and translated at issue. */
+    struct AtomOp
+    {
+        bool is_cas = false;
+        AtomicOp aop = AtomicOp::Add;
+        uint8_t width = 4;
+        uint32_t warp = 0;        ///< index into SmCtx::warps
+        uint64_t cycle = 0;       ///< issue cycle
+        uint64_t seq = 0;         ///< per-SM event order
+        int16_t dst = -1;         ///< old-value result register (-1: St)
+        uint32_t active = 0;      ///< active mask at issue
+        std::array<uint64_t, 32> addrs{}; ///< translated per-lane address
+        std::array<uint64_t, 32> vals{};  ///< RMW operand / CAS desired
+        std::array<uint64_t, 32> cmps{};  ///< CAS expected
     };
 
     /** A fault raised during the slice; the barrier picks the winner by
@@ -419,7 +440,7 @@ struct GpuSim::SmCtx
     std::vector<uint64_t> sched_sleep;
     unsigned live_warps = 0;       ///< warps admitted and not done
     unsigned at_barrier_warps = 0; ///< warps parked on a barrier
-    unsigned heap_pending_warps = 0; ///< warps parked on a heap op
+    unsigned heap_pending_warps = 0; ///< warps parked on a heap/atomic op
     bool retire_pending = false;   ///< some block completed all warps
     bool finished = false;         ///< all blocks retired
     bool stopped = false;          ///< faulted; awaiting the barrier
@@ -447,6 +468,7 @@ struct GpuSim::SmCtx
      *  (present after the first touch, whatever the frozen array said). */
     std::unordered_set<uint64_t> own_lines;
     std::vector<HeapOp> heap_q;
+    std::vector<AtomOp> atom_q;
     std::vector<PendingFault> fault_q;
     Counters cnt;
     Sampling samp;
@@ -775,6 +797,7 @@ GpuSim::buildDecodeTable()
           case Opcode::RET:
           case Opcode::MALLOC:
           case Opcode::FREE:
+          case Opcode::MEMBAR:
             d.kind = InstDesc::Kind::Ctrl;
             break;
           default:
@@ -977,6 +1000,23 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
                                         warp.warp_in_block, gtid,
                                         warp.pc, addr, inst.width,
                                         is_store);
+        if (launch_.memlog && space == MemSpace::Global) {
+            MemEvent e;
+            e.kind = is_store ? MemEvent::Kind::Store
+                              : MemEvent::Kind::Load;
+            e.width = inst.width;
+            e.sm = sm.sm_id;
+            e.block = warp.block;
+            e.warp = warp.warp_in_block;
+            e.gtid = gtid;
+            e.pc = warp.pc;
+            e.seq = sm.event_seq++;
+            e.cycle = sm.cycle;
+            e.addr = addr;
+            e.value = is_store ? store_val.get(lane) : 0;
+            e.value2 = is_store ? 0 : dst_row[lane];
+            launch_.memlog->record(e);
+        }
 
         if (space != MemSpace::Shared) {
             const uint64_t line = probe_addr / config_.line_bytes;
@@ -1092,6 +1132,135 @@ GpuSim::executeMemory(SmCtx& sm, Warp& warp, const Instruction& inst)
     // Stores retire through the write queue; the warp itself moves on.
 }
 
+// maskToWidth/applyAtomicRmw (arch/isa.hpp) are shared with the model
+// checker so both replay the same RMW data function.
+
+void
+GpuSim::executeAtomic(SmCtx& sm, Warp& warp, const Instruction& inst,
+                      bool functional)
+{
+    const InstDesc& d = idesc_[warp.pc];
+    const MemSpace space = d.space;
+    const bool is_cas =
+        inst.op == Opcode::CASG || inst.op == Opcode::CASS;
+    const unsigned width = inst.width ? inst.width : 4;
+    // Everything except a pure atomic load writes memory.
+    const bool writes = is_cas || inst.aop != AtomicOp::Ld;
+
+    const uint64_t* addr_row = warp.regRow(unsigned(inst.src[0].value));
+    // Value operands: RMW operand / CAS expected, and CAS desired.
+    const ResolvedSrc v1 = inst.src[1].kind != Operand::Kind::None
+                               ? resolveSrc(warp, d, 1)
+                               : ResolvedSrc{};
+    const ResolvedSrc v2 = is_cas ? resolveSrc(warp, d, 2) : ResolvedSrc{};
+    uint64_t* const dst_row =
+        inst.dst >= 0 ? warp.regRow(unsigned(inst.dst)) : nullptr;
+
+    MemAccess access;
+    access.space = space;
+    access.is_store = writes;
+    access.width = uint8_t(width);
+    access.imm_offset = inst.imm_offset;
+    access.sm = sm.sm_id;
+    access.frame_base = config_.stack_top - program_.frame_bytes;
+    access.stack_top = config_.stack_top;
+    access.shared_limit = dyn_shared_base_ + launch_.dynamic_shared_bytes;
+
+    SmCtx::AtomOp op;
+    if (space == MemSpace::Global) {
+        op.is_cas = is_cas;
+        op.aop = is_cas ? AtomicOp::Cas : inst.aop;
+        op.width = uint8_t(width);
+        op.warp = uint32_t(&warp - sm.warps.data());
+        op.cycle = sm.cycle;
+        op.seq = sm.event_seq++;
+        op.dst = int16_t(inst.dst);
+        op.active = warp.active;
+    }
+
+    unsigned extra = 0;
+    for (unsigned lane = 0; lane < warp.lanes; ++lane) {
+        if (!(warp.active & (1u << lane)))
+            continue;
+        const uint32_t gtid = warp.first_gtid + lane;
+        access.reg_value = addr_row[lane];
+        access.gtid = gtid;
+
+        MemCheck check = mech_.onMemAccess(access);
+        if (check.fault) {
+            pendFault(sm, *check.fault);
+            return;
+        }
+        extra = std::max(extra, check.extra_cycles);
+        const uint64_t addr = check.address;
+
+        if (space == MemSpace::Shared) {
+            // Shared memory is SM-private: the read-modify-write is
+            // already atomic with respect to everything that can see it.
+            const uint64_t old = warp.shared->read(addr, width);
+            if (is_cas) {
+                if (maskToWidth(old, width) ==
+                    maskToWidth(v1.get(lane), width))
+                    warp.shared->write(addr, v2.get(lane), width);
+            } else if (writes) {
+                warp.shared->write(
+                    addr, applyAtomicRmw(inst.aop, old, v1.get(lane),
+                                         width),
+                    width);
+            }
+            if (dst_row)
+                dst_row[lane] = maskToWidth(old, width);
+        } else {
+            op.addrs[lane] = addr;
+            op.vals[lane] = is_cas ? v2.get(lane) : v1.get(lane);
+            op.cmps[lane] = is_cas ? v1.get(lane) : 0;
+        }
+
+        if (launch_.sanitizer)
+            launch_.sanitizer->onAccess(space, warp.block,
+                                        warp.warp_in_block, gtid,
+                                        warp.pc, addr, width, writes,
+                                        /*is_atomic=*/true, inst.scope);
+        if (launch_.memlog && space == MemSpace::Global) {
+            MemEvent e;
+            e.kind = is_cas ? MemEvent::Kind::Cas
+                     : inst.aop == AtomicOp::Ld ? MemEvent::Kind::Load
+                     : inst.aop == AtomicOp::St ? MemEvent::Kind::Store
+                                                : MemEvent::Kind::Rmw;
+            e.is_atomic = true;
+            e.aop = inst.aop;
+            e.scope = inst.scope;
+            e.order = inst.order;
+            e.width = uint8_t(width);
+            e.sm = sm.sm_id;
+            e.block = warp.block;
+            e.warp = warp.warp_in_block;
+            e.gtid = gtid;
+            e.pc = warp.pc;
+            e.seq = sm.event_seq++;
+            e.cycle = sm.cycle;
+            e.addr = addr;
+            e.value = op.vals[lane];
+            e.value2 = op.cmps[lane];
+            launch_.memlog->record(e);
+        }
+    }
+
+    if (space == MemSpace::Shared) {
+        if (!functional && inst.dst >= 0)
+            warp.reg_ready[unsigned(inst.dst)] =
+                sm.cycle + config_.shared_latency + extra;
+        return;
+    }
+
+    // Global: park the warp; the slice barrier executes the operation
+    // against the base memory in canonical (sm, seq) order, writes the
+    // old values into the destination registers and unparks the warp.
+    sm.atom_q.push_back(op);
+    warp.heap_pending = true;
+    ++sm.heap_pending_warps;
+}
+
 void
 GpuSim::executeMemoryFunctional(SmCtx& sm, Warp& warp,
                                 const Instruction& inst)
@@ -1200,6 +1369,23 @@ GpuSim::executeMemoryFunctional(SmCtx& sm, Warp& warp,
                                         warp.warp_in_block,
                                         access.gtid, warp.pc, addr,
                                         inst.width, is_store);
+        if (launch_.memlog && space == MemSpace::Global) {
+            MemEvent e;
+            e.kind = is_store ? MemEvent::Kind::Store
+                              : MemEvent::Kind::Load;
+            e.width = inst.width;
+            e.sm = sm.sm_id;
+            e.block = warp.block;
+            e.warp = warp.warp_in_block;
+            e.gtid = access.gtid;
+            e.pc = warp.pc;
+            e.seq = sm.event_seq++;
+            e.cycle = sm.cycle;
+            e.addr = addr;
+            e.value = is_store ? store_val.get(lane) : 0;
+            e.value2 = is_store ? 0 : dst_row[lane];
+            launch_.memlog->record(e);
+        }
     }
 
     // Region profile (Fig. 1).
@@ -1384,9 +1570,48 @@ GpuSim::issueWarpT(SmCtx& sm, Warp& warp)
             pendFault(sm, std::move(f));
             return true;
         }
+        if (launch_.memlog) {
+            MemEvent e;
+            e.kind = MemEvent::Kind::Barrier;
+            e.scope = MemScope::Cta;
+            e.order = MemOrder::AcqRel;
+            e.sm = sm.sm_id;
+            e.block = warp.block;
+            e.warp = warp.warp_in_block;
+            e.gtid = warp.first_gtid;
+            e.pc = warp.pc;
+            e.seq = sm.event_seq++;
+            e.cycle = cycle;
+            launch_.memlog->record(e);
+        }
         warp.at_barrier = true;
         warp.barrier_pc = warp.pc;
         ++sm.at_barrier_warps;
+        ++warp.pc;
+        return true;
+      }
+
+      case Opcode::MEMBAR: {
+        // Architecturally a no-op on the slice-synchronous engine: each
+        // SM issues in program order and stores commit in canonical
+        // order at the slice barrier, so the machine is at least as
+        // strong as the fence requests at any scope. The event is still
+        // logged — the model checker replays it as an ordering edge
+        // when it explores interleavings weaker than the engine's.
+        if (launch_.memlog) {
+            MemEvent e;
+            e.kind = MemEvent::Kind::Fence;
+            e.scope = inst.scope;
+            e.order = inst.order;
+            e.sm = sm.sm_id;
+            e.block = warp.block;
+            e.warp = warp.warp_in_block;
+            e.gtid = warp.first_gtid;
+            e.pc = warp.pc;
+            e.seq = sm.event_seq++;
+            e.cycle = cycle;
+            launch_.memlog->record(e);
+        }
         ++warp.pc;
         return true;
       }
@@ -1424,7 +1649,9 @@ GpuSim::issueWarpT(SmCtx& sm, Warp& warp)
     }
 
     if (d.is_mem) {
-        if constexpr (kFunctional)
+        if (isAtomic(inst.op))
+            executeAtomic(sm, warp, inst, kFunctional);
+        else if constexpr (kFunctional)
             executeMemoryFunctional(sm, warp, inst);
         else
             executeMemory(sm, warp, inst);
@@ -2197,6 +2424,19 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
                     mech_.onDeviceAlloc(ptr, size);
                     if (launch_.sanitizer)
                         launch_.sanitizer->onDeviceAlloc(ptr, size);
+                    if (launch_.memlog) {
+                        MemEvent e;
+                        e.kind = MemEvent::Kind::Malloc;
+                        e.sm = sm.sm_id;
+                        e.block = w.block;
+                        e.warp = w.warp_in_block;
+                        e.gtid = w.first_gtid + lane;
+                        e.seq = op.seq;
+                        e.cycle = op.cycle;
+                        e.addr = ptr;
+                        e.value = size;
+                        launch_.memlog->record(e);
+                    }
                     w.reg(lane, unsigned(op.dst)) = ptr;
                 } else {
                     const uint64_t ptr = op.vals[lane];
@@ -2208,6 +2448,18 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
                             {op.cycle, sm.sm_id, op.seq, std::move(*f)});
                         faulted = true;
                         break;
+                    }
+                    if (launch_.memlog) {
+                        MemEvent e;
+                        e.kind = MemEvent::Kind::Free;
+                        e.sm = sm.sm_id;
+                        e.block = w.block;
+                        e.warp = w.warp_in_block;
+                        e.gtid = w.first_gtid + lane;
+                        e.seq = op.seq;
+                        e.cycle = op.cycle;
+                        e.addr = ptr;
+                        launch_.memlog->record(e);
                     }
                 }
             }
@@ -2226,6 +2478,64 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
                       uint64_t(0));
         }
         sm.heap_q.clear();
+    }
+
+    // (c') Execute deferred global atomics in the same canonical
+    // (sm, seq) order, against the base memory — which at this point
+    // holds every store committed in (a), so an atomic observes all
+    // prior-slice traffic. Lanes apply in lane order. Written pages get
+    // a "foreign to everyone" stamp (the issuing SM's own overlay never
+    // saw the result either, so it must re-sync like the rest).
+    for (SmCtx& sm : sms) {
+        for (SmCtx::AtomOp& op : sm.atom_q) {
+            Warp& w = sm.warps[op.warp];
+            for (unsigned lane = 0; lane < w.lanes; ++lane) {
+                if (!(op.active & (1u << lane)))
+                    continue;
+                const uint64_t addr = op.addrs[lane];
+                const uint64_t old = global_mem_.read(addr, op.width);
+                bool write = false;
+                uint64_t newv = 0;
+                if (op.is_cas) {
+                    write = maskToWidth(old, op.width) ==
+                            maskToWidth(op.cmps[lane], op.width);
+                    newv = op.vals[lane];
+                } else if (op.aop != AtomicOp::Ld) {
+                    write = true;
+                    newv = applyAtomicRmw(op.aop, old, op.vals[lane],
+                                          op.width);
+                }
+                if (write) {
+                    global_mem_.write(addr, newv, op.width);
+                    const uint64_t first =
+                        addr / SparseMemory::kPageBytes;
+                    const uint64_t last = (addr + op.width - 1) /
+                                          SparseMemory::kPageBytes;
+                    for (uint64_t p = first; p <= last; ++p) {
+                        PageStamp& st = page_stamps_[p];
+                        st.slice = slice_no;
+                        st.other_slice = slice_no;
+                        st.writer = -1;
+                    }
+                }
+                if (op.dst >= 0)
+                    w.reg(lane, unsigned(op.dst)) =
+                        maskToWidth(old, op.width);
+            }
+            // Result ready / store retired after a hierarchy round
+            // trip (atomics resolve at the L2 on this machine).
+            const uint64_t done_at =
+                op.cycle + config_.l1_latency + config_.l2_latency;
+            if (op.dst >= 0)
+                w.reg_ready[unsigned(op.dst)] = done_at;
+            else
+                w.stall_until = done_at;
+            w.heap_pending = false;
+            --sm.heap_pending_warps;
+            std::fill(sm.sched_sleep.begin(), sm.sched_sleep.end(),
+                      uint64_t(0));
+        }
+        sm.atom_q.clear();
     }
 
     // (d) Resolve the fault winner: earliest by cycle, then SM id, then
@@ -2384,10 +2694,13 @@ GpuSim::resolveThreads(unsigned used_sms) const
 {
     unsigned threads = launch_.sim_threads ? launch_.sim_threads
                                            : resolveSimThreads(config_);
-    if (threads > 1 && (launch_.trace || launch_.sanitizer)) {
+    if (threads > 1 &&
+        (launch_.trace || launch_.sanitizer || launch_.memlog)) {
         lmi_inform("sim: %s launch pinned to sim_threads=1 "
                    "(order-sensitive sink attached)",
-                   launch_.trace ? "traced" : "sanitized");
+                   launch_.trace       ? "traced"
+                   : launch_.sanitizer ? "sanitized"
+                                       : "event-logged");
         threads = 1;
     }
     return std::min(std::max(threads, 1u), used_sms);

@@ -64,6 +64,7 @@
 #include "sim/config.hpp"
 #include "sim/launch_options.hpp"
 #include "sim/mechanism.hpp"
+#include "sim/mem_event.hpp"
 #include "sim/memory.hpp"
 #include "sim/race_sanitizer.hpp"
 #include "sim/result.hpp"
@@ -94,6 +95,9 @@ struct Launch
     TraceSink* trace = nullptr;
     /** Optional dynamic race sanitizer (purely observational). */
     RaceSanitizer* sanitizer = nullptr;
+    /** Optional memory-transaction log for the model checker (also
+     *  order-sensitive, so it pins the launch to one thread). */
+    MemEventSink* memlog = nullptr;
 };
 
 /**
@@ -194,6 +198,15 @@ class GpuSim
      *  state and sanitizing without coalescing, caches or the LSU. */
     void executeMemoryFunctional(SmCtx& sm, Warp& warp,
                                  const Instruction& inst);
+    /**
+     * Scoped atomic execution (ATOM*, CAS*), shared by both tiers.
+     * Shared-memory atomics are SM-private and execute immediately;
+     * global atomics run their mechanism checks now but defer the
+     * read-modify-write to the slice barrier (shared, order-dependent
+     * state — same treatment as heap ops), parking the warp until then.
+     */
+    void executeAtomic(SmCtx& sm, Warp& warp, const Instruction& inst,
+                       bool functional);
     uint64_t operandValue(const Warp& warp, unsigned lane,
                           const Operand& op) const;
     void admitBlocks(SmCtx& sm);

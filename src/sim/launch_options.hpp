@@ -30,6 +30,7 @@ namespace lmi {
 
 class TraceSink;
 class RaceSanitizer;
+class MemEventSink;
 
 /** Which engine tier executes the launch. */
 enum class ExecutionTier : uint8_t {
@@ -129,6 +130,9 @@ struct LaunchOptions
     TraceSink* trace = nullptr;
     /** Optional dynamic race sanitizer (purely observational). */
     RaceSanitizer* sanitizer = nullptr;
+    /** Optional memory-transaction log feeding the weak-memory model
+     *  checker (purely observational; pins the launch to one thread). */
+    MemEventSink* memlog = nullptr;
 };
 
 } // namespace lmi

@@ -26,6 +26,17 @@ RaceSanitizer::check(MemSpace space, const Access& cur,
         return;
     if (!cur.is_store && !prev.is_store)
         return;
+    if (cur.is_atomic && prev.is_atomic) {
+        // A properly scoped atomic pair synchronizes instead of racing:
+        // cta scope covers same-block pairs, gpu/sys scope covers any
+        // pair on the device. A scope-mismatched pair (e.g. cta-scope
+        // atomics from different blocks) still conflicts.
+        const MemScope need = prev.block != cur.block ? MemScope::Gpu
+                                                      : MemScope::Cta;
+        if (uint8_t(cur.scope) >= uint8_t(need) &&
+            uint8_t(prev.scope) >= uint8_t(need))
+            return;
+    }
     bool conflict;
     if (prev.block != cur.block) {
         // Different blocks are never ordered within a kernel; shared
@@ -59,7 +70,8 @@ RaceSanitizer::check(MemSpace space, const Access& cur,
 void
 RaceSanitizer::onAccess(MemSpace space, uint32_t block, uint32_t warp,
                         uint32_t gtid, uint64_t pc, uint64_t addr,
-                        unsigned width, bool is_store)
+                        unsigned width, bool is_store, bool is_atomic,
+                        MemScope scope)
 {
     if (space != MemSpace::Global && space != MemSpace::Shared)
         return; // local/constant memory is thread-private/read-only
@@ -67,6 +79,8 @@ RaceSanitizer::onAccess(MemSpace space, uint32_t block, uint32_t warp,
     Access cur;
     cur.valid = true;
     cur.is_store = is_store;
+    cur.is_atomic = is_atomic;
+    cur.scope = scope;
     cur.block = block;
     cur.warp = warp;
     cur.gtid = gtid;

@@ -56,10 +56,15 @@ class RaceSanitizer
         std::string toString() const;
     };
 
-    /** Record one executed access covering [addr, addr+width). */
+    /** Record one executed access covering [addr, addr+width). Scoped
+     *  atomics pass is_atomic=true with their scope: a conflicting pair
+     *  where both sides are atomic at sufficient scope (cta for
+     *  same-block pairs, gpu/sys across blocks) synchronizes rather
+     *  than races and is not reported. */
     void onAccess(MemSpace space, uint32_t block, uint32_t warp,
                   uint32_t gtid, uint64_t pc, uint64_t addr,
-                  unsigned width, bool is_store);
+                  unsigned width, bool is_store, bool is_atomic = false,
+                  MemScope scope = MemScope::Cta);
 
     /** A barrier released in @p block: everything before it
      *  happens-before everything after. */
@@ -87,6 +92,8 @@ class RaceSanitizer
     {
         bool valid = false;
         bool is_store = false;
+        bool is_atomic = false;
+        MemScope scope = MemScope::Cta;
         uint32_t block = 0, warp = 0, gtid = 0;
         uint64_t epoch = 0, pc = 0;
     };

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Litmus-test workload family for the scoped weak-memory model checker.
+ *
+ * Each test is a tiny multi-block kernel exercising one classic
+ * weak-memory shape with scoped atomics (message passing, store
+ * buffering, IRIW, a scope-mismatched handshake) or an LMI temporal
+ * scenario (device-heap free racing a use). The harness runs the kernel
+ * once on the simulator with a memory-event log attached — the engine's
+ * slice-synchronous schedule is one (strong) witness — then hands the
+ * log to analysis/model_check.hpp to explore what the scoped memory
+ * model *allows*:
+ *
+ *  - tests carrying `forbidden` outcomes assert both directions: the
+ *    simulator never produced such an outcome, and the checker reports
+ *    it unreachable (no explored execution hits it);
+ *  - tests carrying `allowed_weak` outcomes assert the checker finds
+ *    the weak behaviour the engine itself cannot exhibit (within the
+ *    execution bound);
+ *  - `expect_uaf` / `expect_race` assert the temporal fault and the
+ *    scope-mismatch race pass fire (or stay silent) as specified.
+ *
+ * Outcome tuples are the values observed by the checker's watch loads —
+ * every atomic load, ordered by (thread, program order). The kernels
+ * mirror each watched load into a result cell with a plain store so the
+ * simulator-side outcome is comparable. All litmus kernels run under
+ * the Baseline mechanism: encoded LMI pointers would defeat the
+ * checker's address matching (DESIGN.md "Memory model").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model_check.hpp"
+#include "ir/ir.hpp"
+
+namespace lmi {
+
+/** One litmus test: a kernel plus its memory-model expectations. */
+struct LitmusTest
+{
+    std::string name;
+    std::string description;
+    /** Builds a module containing kernel "litmus" (one ptr-i32 param). */
+    ir::IrModule (*build)();
+    unsigned blocks = 2;
+    unsigned block_threads = 1;
+    uint64_t buffer_bytes = 64;
+    /** Word offsets (index * 4 bytes) of the simulator result cells,
+     *  mirroring the checker's watch-load tuple order. */
+    std::vector<uint32_t> result_cells;
+    /** Outcome tuples the memory model forbids. */
+    std::vector<std::vector<uint64_t>> forbidden;
+    /** Weak outcome tuples the checker must find within the bound. */
+    std::vector<std::vector<uint64_t>> allowed_weak;
+    /** The checker must (or must not) report a use-after-free fault. */
+    bool expect_uaf = false;
+    /** The race pass must (or must not) report a scope-mismatch race. */
+    bool expect_race = false;
+};
+
+/** The litmus family, fixed order. */
+const std::vector<LitmusTest>& litmusSuite();
+
+/** Find a test by name (fatal if absent). */
+const LitmusTest& findLitmus(const std::string& name);
+
+/** One harness run: simulator witness + bounded model checking. */
+struct LitmusResult
+{
+    std::string name;
+    /** Simulator-observed outcome (result cells after the launch). */
+    std::vector<uint64_t> sim_outcome;
+    /** Events the launch logged. */
+    size_t events = 0;
+    analysis::ModelCheckReport report;
+
+    bool sim_outcome_forbidden = false; ///< engine hit a forbidden tuple
+    bool forbidden_reached = false;     ///< checker reached one
+    bool weak_found = false;      ///< all allowed_weak tuples reached
+    bool uaf_found = false;
+    bool race_found = false;      ///< scope-mismatch race reported
+    bool pass = false;            ///< everything matches the test spec
+
+    /** "forbidden-absent" / "weak-found" / "uaf-found" / ... */
+    std::string verdict;
+};
+
+/** Run one test under the Baseline mechanism with the given bound. */
+LitmusResult runLitmus(const LitmusTest& test,
+                       uint64_t bound = 100000);
+
+/** Run the whole family. */
+std::vector<LitmusResult> runLitmusSuite(uint64_t bound = 100000);
+
+} // namespace lmi

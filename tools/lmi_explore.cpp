@@ -65,6 +65,7 @@
 #include "runner/experiment_runner.hpp"
 #include "security/violations.hpp"
 #include "sim/trace.hpp"
+#include "workloads/litmus.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace lmi;
@@ -86,6 +87,8 @@ struct GlobalOpts
     std::string severity = "error"; ///< verify exit-code threshold
     bool seeded = false;  ///< races: include race-seeded variants
     bool dynamic = false; ///< races: also run the dynamic sanitizer
+    /** check: model-checker execution bound per litmus test. */
+    uint64_t bound = 100000;
     /** Execution tier for every simulator launch the command makes. */
     ExecutionTier tier = ExecutionTier::Detailed;
     /** Sampled-tier schedule (--sampling P,W,D[,L]). */
@@ -155,6 +158,7 @@ usage()
         "              [--severity note|warning|error]\n"
         "  lmi_explore races [--workloads a,b] [--seeded] [--dynamic]\n"
         "              [--json FILE]\n"
+        "  lmi_explore check [test] [--bound N] [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --sim-threads N,\n"
         "              --cache DIR, --tier detailed|functional|sampled,\n"
         "              --sampling P,W,D[,L] (sampled-tier schedule)\n"
@@ -646,6 +650,92 @@ cmdRaces(const GlobalOpts& opts)
     return clean_flagged ? 1 : 0;
 }
 
+/** Machine-readable litmus output version; bump on field changes so
+ *  tools/check_litmus.py can detect drift. */
+constexpr int kLitmusSchemaVersion = 1;
+
+std::string
+tupleJson(const std::vector<uint64_t>& tuple)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < tuple.size(); ++i)
+        out += (i ? "," : "") + std::to_string(tuple[i]);
+    return out + "]";
+}
+
+int
+cmdCheck(const std::string& test_name, const GlobalOpts& opts)
+{
+    std::vector<LitmusResult> results;
+    if (test_name.empty()) {
+        results = runLitmusSuite(opts.bound);
+    } else {
+        results.push_back(runLitmus(findLitmus(test_name), opts.bound));
+    }
+
+    std::string json = "{\n\"schema_version\": " +
+                       std::to_string(kLitmusSchemaVersion) +
+                       ",\n\"bound\": " + std::to_string(opts.bound) +
+                       ",\n\"tests\": [";
+    TextTable table({"test", "events", "executions", "pruned",
+                     "outcomes", "verdict"});
+    size_t failed = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const LitmusResult& r = results[i];
+        failed += !r.pass;
+        table.addRow({r.name, std::to_string(r.events),
+                      std::to_string(r.report.executions) +
+                          (r.report.hit_bound ? "+" : ""),
+                      std::to_string(r.report.pruned),
+                      std::to_string(r.report.outcomes.size()),
+                      r.verdict});
+        for (const auto& f : r.report.faults)
+            std::printf("  %s: %s\n", r.name.c_str(),
+                        f.toString().c_str());
+        for (const auto& race : r.report.races)
+            std::printf("  %s: %s\n", r.name.c_str(),
+                        race.toString().c_str());
+
+        std::string outcomes;
+        for (const auto& tuple : r.report.outcomes)
+            outcomes += (outcomes.empty() ? "" : ",") + tupleJson(tuple);
+        std::string faults;
+        for (const auto& f : r.report.faults)
+            faults += (faults.empty() ? "" : ",") + std::string("\"") +
+                      analysis::jsonEscape(f.toString()) + "\"";
+        if (i)
+            json += ",";
+        json += "\n  {\"name\": \"" + analysis::jsonEscape(r.name) +
+                "\", \"verdict\": \"" + r.verdict +
+                "\", \"pass\": " + (r.pass ? "true" : "false") +
+                ", \"events\": " + std::to_string(r.events) +
+                ", \"agents\": " + std::to_string(r.report.agents) +
+                ", \"executions\": " +
+                std::to_string(r.report.executions) +
+                ", \"pruned\": " + std::to_string(r.report.pruned) +
+                ", \"hit_bound\": " +
+                (r.report.hit_bound ? "true" : "false") +
+                ", \"sim_outcome\": " + tupleJson(r.sim_outcome) +
+                ", \"outcomes\": [" + outcomes + "]" +
+                ", \"uaf\": " + (r.uaf_found ? "true" : "false") +
+                ", \"scope_race\": " + (r.race_found ? "true" : "false") +
+                ", \"faults\": [" + faults + "]}";
+    }
+    json += "\n]\n}\n";
+
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu litmus tests, %zu mismatched "
+                "(bound %llu per test)\n",
+                results.size(), failed,
+                static_cast<unsigned long long>(opts.bound));
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << json;
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return failed ? 1 : 0;
+}
+
 int
 cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
 {
@@ -720,6 +810,8 @@ main(int argc, char** argv)
                    flagValue("--mechanisms", &opts.mechanisms_filter) ||
                    flagValue("--severity", &opts.severity))
             ;
+        else if (flagValue("--bound", &value))
+            opts.bound = uint64_t(std::atoll(value.c_str()));
         else if (arg == "--seeded")
             opts.seeded = true;
         else if (arg == "--dynamic")
@@ -777,6 +869,8 @@ main(int argc, char** argv)
             return cmdVerify(opts);
         if (cmd == "races")
             return cmdRaces(opts);
+        if (cmd == "check")
+            return cmdCheck(args.size() > 1 ? args[1] : "", opts);
         if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
             if (!mechanismFromName(args[1], &kind))
