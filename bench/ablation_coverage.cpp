@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Detection-coverage ablation (extension beyond the paper).
+ *
+ * Runs every mechanism in the registry against the six-scenario
+ * adversarial attack suite (workloads/attacks.hpp) on both the
+ * detailed and functional engine tiers, with the static safety oracle
+ * (analysis/safety_oracle.hpp) as ground truth:
+ *
+ *   - every benign twin is statically ProvenSafe and must run clean
+ *     (no fault, no compiler rejection) under every mechanism on every
+ *     tier;
+ *   - every attack variant carries its planted violation verdict
+ *     (SpatialOOB / SubObjectOOB / TemporalUAF) statically; which
+ *     mechanisms detect it dynamically is the coverage matrix;
+ *   - detection outcomes must be identical across the two tiers — a
+ *     tier-dependent detection is an engine bug.
+ *
+ * Exit code = oracle/dynamic disagreements + tier mismatches, so CI
+ * can gate on zero. The printed matrix is the artifact EXPERIMENTS.md
+ * records.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "security/coverage.hpp"
+
+using namespace lmi;
+
+int
+main()
+{
+    const CoverageMatrix matrix = runCoverage();
+
+    std::printf("%s", matrix.renderTable().c_str());
+    std::printf("legend: X = runtime fault, C = compile-time "
+                "rejection, . = missed, ! = benign twin flagged\n\n");
+
+    // Tier invariance: (attack, variant, mechanism) outcomes keyed
+    // without the tier must collapse to one value.
+    size_t tier_mismatches = 0;
+    std::map<std::string, std::pair<bool, bool>> seen;
+    for (const CoverageCell& c : matrix.cells) {
+        const std::string key =
+            c.attack + "|" + (c.benign ? "b" : "a") + "|" +
+            mechanismKindName(c.mechanism);
+        const auto outcome = std::make_pair(c.detected,
+                                            c.compile_rejected);
+        auto [it, fresh] = seen.emplace(key, outcome);
+        if (!fresh && it->second != outcome) {
+            std::printf("tier mismatch: %s %s under %s\n",
+                        c.attack.c_str(), c.benign ? "benign" : "attack",
+                        mechanismKindName(c.mechanism));
+            ++tier_mismatches;
+        }
+    }
+
+    for (const CoverageCell& c : matrix.cells)
+        if (!c.disagreement.empty())
+            std::printf("disagreement: %s %s under %s (%s): %s\n",
+                        c.attack.c_str(), c.benign ? "benign" : "attack",
+                        mechanismKindName(c.mechanism),
+                        executionTierName(c.tier),
+                        c.disagreement.c_str());
+
+    const size_t disagreements = matrix.disagreements();
+    std::printf("%zu cells, %zu disagreements, %zu tier mismatches\n",
+                matrix.cells.size(), disagreements, tier_mismatches);
+    return int(disagreements + tier_mismatches);
+}

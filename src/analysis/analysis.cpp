@@ -10,6 +10,7 @@ analysisLevelName(AnalysisLevel level)
       case AnalysisLevel::Verify: return "verify";
       case AnalysisLevel::Full:   return "full";
       case AnalysisLevel::Race:   return "race";
+      case AnalysisLevel::Oracle: return "oracle";
     }
     return "?";
 }
@@ -43,9 +44,29 @@ analyzeFunction(const ir::IrFunction& f, const AnalysisOptions& opts)
 
     LintOptions lopts;
     lopts.codec = opts.codec;
+    // The oracle's temporal automaton is CFG-exact where the lint
+    // heuristic is dominance-approximate; don't report the same UAF
+    // twice at different precision.
+    lopts.defer_temporal = opts.level == AnalysisLevel::Oracle;
     auto lint = lintFunction(f, lopts);
     report.diagnostics.insert(report.diagnostics.end(), lint.begin(),
                               lint.end());
+
+    if (opts.level == AnalysisLevel::Oracle) {
+        SafetyOracleOptions oopts;
+        oopts.codec = opts.codec;
+        SafetyOracleReport oracle = analyzeSafety(f, oopts);
+        report.oracle_safe = oracle.count(AccessVerdict::ProvenSafe);
+        report.oracle_spatial = oracle.count(AccessVerdict::SpatialOOB);
+        report.oracle_subobject =
+            oracle.count(AccessVerdict::SubObjectOOB);
+        report.oracle_uaf = oracle.count(AccessVerdict::TemporalUAF);
+        report.oracle_unknown = oracle.count(AccessVerdict::Unknown);
+        report.accesses = std::move(oracle.accesses);
+        report.diagnostics.insert(report.diagnostics.end(),
+                                  oracle.diagnostics.begin(),
+                                  oracle.diagnostics.end());
+    }
 
     if (opts.level == AnalysisLevel::Race) {
         RaceAnalysisOptions raopts;

@@ -23,7 +23,14 @@
  *           hint bit and skip the dynamic OCU check;
  *   Race    Full plus the barrier-aware race/divergence analyzer
  *           (race_analysis.hpp); ProvenRacy pairs and divergent
- *           barriers are error diagnostics.
+ *           barriers are error diagnostics;
+ *   Oracle  Full plus the whole-kernel safety oracle
+ *           (safety_oracle.hpp): every memory access is classified
+ *           {ProvenSafe, SpatialOOB, SubObjectOOB, TemporalUAF,
+ *           Unknown}, proven violations surface as
+ *           Severity::Violation diagnostics, and the lint pass defers
+ *           its weaker use-after-invalidate heuristic to the oracle's
+ *           CFG-exact temporal automaton.
  */
 
 #pragma once
@@ -34,13 +41,14 @@
 #include "analysis/lint.hpp"
 #include "analysis/race_analysis.hpp"
 #include "analysis/range_analysis.hpp"
+#include "analysis/safety_oracle.hpp"
 #include "analysis/verify.hpp"
 #include "ir/ir.hpp"
 
 namespace lmi::analysis {
 
 /** How much of the pipeline the compiler driver runs. */
-enum class AnalysisLevel : uint8_t { Off, Verify, Full, Race };
+enum class AnalysisLevel : uint8_t { Off, Verify, Full, Race, Oracle };
 
 struct AnalysisOptions
 {
@@ -71,6 +79,14 @@ struct AnalysisReport
     size_t race_disjoint = 0;
     size_t race_unknown = 0;
     size_t race_divergent_barriers = 0;
+
+    /** Safety-oracle access classification (Oracle level only). */
+    std::unordered_map<ir::ValueId, AccessWitness> accesses;
+    size_t oracle_safe = 0;
+    size_t oracle_spatial = 0;
+    size_t oracle_subobject = 0;
+    size_t oracle_uaf = 0;
+    size_t oracle_unknown = 0;
 
     size_t errors() const { return errorCount(diagnostics); }
 };

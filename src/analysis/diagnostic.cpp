@@ -8,9 +8,10 @@ const char*
 severityName(Severity severity)
 {
     switch (severity) {
-      case Severity::Note:    return "note";
-      case Severity::Warning: return "warning";
-      case Severity::Error:   return "error";
+      case Severity::Note:      return "note";
+      case Severity::Warning:   return "warning";
+      case Severity::Error:     return "error";
+      case Severity::Violation: return "violation";
     }
     return "?";
 }
@@ -66,7 +67,7 @@ errorCount(const std::vector<Diagnostic>& diags)
 {
     size_t n = 0;
     for (const auto& d : diags)
-        n += d.severity == Severity::Error;
+        n += d.severity >= Severity::Error;
     return n;
 }
 

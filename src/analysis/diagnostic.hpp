@@ -18,8 +18,12 @@
 
 namespace lmi::analysis {
 
-/** Diagnostic severity, ordered by increasing gravity. */
-enum class Severity : uint8_t { Note, Warning, Error };
+/** Diagnostic severity, ordered by increasing gravity. Violation is
+ *  reserved for machine-checked proofs of a memory-safety violation
+ *  (the safety oracle's SpatialOOB/SubObjectOOB/TemporalUAF verdicts):
+ *  unlike a plain Error it asserts the program is wrong on *every*
+ *  execution reaching the access, not merely unanalyzable. */
+enum class Severity : uint8_t { Note, Warning, Error, Violation };
 
 const char* severityName(Severity severity);
 
@@ -41,7 +45,7 @@ struct Diagnostic
     std::string toJson() const;
 };
 
-/** Number of error-severity diagnostics in @p diags. */
+/** Number of diagnostics at Error severity or above in @p diags. */
 size_t errorCount(const std::vector<Diagnostic>& diags);
 
 /** Render a diagnostic list as a JSON array. */

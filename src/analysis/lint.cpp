@@ -221,7 +221,8 @@ Linter::run()
 {
     checkSaturation();
     checkPhiMixing();
-    checkUseAfterInvalidate();
+    if (!opts_.defer_temporal)
+        checkUseAfterInvalidate();
     return std::move(diags_);
 }
 

@@ -30,6 +30,13 @@ namespace lmi::analysis {
 struct LintOptions
 {
     PointerCodec codec{};
+    /**
+     * Skip the use-after-invalidate heuristic: the safety oracle
+     * (safety_oracle.hpp) is running in the same pipeline and proves
+     * temporal violations CFG-exactly, so the dominance-based
+     * approximation here would only duplicate (or contradict) it.
+     */
+    bool defer_temporal = false;
 };
 
 std::vector<Diagnostic> lintFunction(const ir::IrFunction& f,

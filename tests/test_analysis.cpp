@@ -20,6 +20,7 @@
 #include "mechanisms/registry.hpp"
 #include "security/violations.hpp"
 #include "sim/device.hpp"
+#include "workloads/attacks.hpp"
 #include "workloads/workloads.hpp"
 
 namespace lmi {
@@ -835,6 +836,356 @@ TEST(Cfg, PhiFreeDiamondMergePostdominatesBothArms)
     EXPECT_EQ(cfg.ipdom[left], int(merge));
     EXPECT_EQ(cfg.ipdom[right], int(merge));
     EXPECT_EQ(cfg.ipdom[merge], -1);
+}
+
+// ---------------------------------------------------------------------
+// Safety oracle: temporal automaton, field windows, verdict lattice.
+// ---------------------------------------------------------------------
+
+using analysis::AccessVerdict;
+
+/** Verdict of the single access performed through @p build's last
+ *  store. Convenience: run the oracle, return the verdict of the only
+ *  access whose id matches @p access. */
+analysis::AccessWitness
+witnessOf(const IrFunction& f, ValueId access)
+{
+    const analysis::SafetyOracleReport report = analysis::analyzeSafety(f);
+    auto it = report.accesses.find(access);
+    EXPECT_TRUE(it != report.accesses.end());
+    return it == report.accesses.end() ? analysis::AccessWitness{}
+                                       : it->second;
+}
+
+TEST(Oracle, StoreBeforeFreeIsProvenSafe)
+{
+    IrFunction f = IrBuilder::makeKernel("prefree", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto p = b.malloc_(b.constInt(256), 4);
+    b.store(b.gep(p, b.constInt(3)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.free_(p);
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::ProvenSafe);
+}
+
+TEST(Oracle, StoreAfterFreeIsTemporalUaf)
+{
+    IrFunction f = IrBuilder::makeKernel("postfree", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto p = b.malloc_(b.constInt(256), 4);
+    b.free_(p);
+    b.store(b.gep(p, b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    const analysis::AccessWitness w = witnessOf(f, access);
+    EXPECT_EQ(w.verdict, AccessVerdict::TemporalUAF);
+    // The witness names the invalidating free.
+    EXPECT_NE(w.invalidated_by, kNoValue);
+    EXPECT_EQ(f.inst(w.invalidated_by).op, IrOp::Free);
+}
+
+TEST(Oracle, StoreAfterScopeEndIsTemporalUaf)
+{
+    IrFunction f = IrBuilder::makeKernel("postscope", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto buf = b.alloca_(256, 4);
+    // Hand-plant the ScopeEnd the inliner would emit for a callee
+    // frame.
+    IrInst scope_end;
+    scope_end.op = IrOp::ScopeEnd;
+    scope_end.type = Type::voidTy();
+    scope_end.ops = {buf};
+    f.values.push_back(scope_end);
+    f.blocks[0].insts.push_back(ValueId(f.values.size() - 1));
+    b.store(b.gep(buf, b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::TemporalUAF);
+}
+
+TEST(Oracle, FreeInOneBranchJoinsToUnknown)
+{
+    // Invalidated (then-branch) ⊔ Live (else-branch) = Top: the access
+    // after the merge is neither provably dead nor provably live.
+    IrFunction f =
+        IrBuilder::makeKernel("branchfree", {{"c", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto then_bb = b.block("then");
+    auto else_bb = b.block("else");
+    auto merge = b.block("merge");
+    b.setInsertPoint(entry);
+    auto p = b.malloc_(b.constInt(256), 4);
+    auto c = b.icmp(CmpOp::NE, b.param(0), b.constInt(0));
+    b.br(c, then_bb, else_bb);
+    b.setInsertPoint(then_bb);
+    b.free_(p);
+    b.jump(merge);
+    b.setInsertPoint(else_bb);
+    b.jump(merge);
+    b.setInsertPoint(merge);
+    b.store(b.gep(p, b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access =
+        f.blocks[merge].insts[f.blocks[merge].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::Unknown);
+}
+
+TEST(Oracle, FreeInBothBranchesIsTemporalUaf)
+{
+    IrFunction f =
+        IrBuilder::makeKernel("bothfree", {{"c", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto then_bb = b.block("then");
+    auto else_bb = b.block("else");
+    auto merge = b.block("merge");
+    b.setInsertPoint(entry);
+    auto p = b.malloc_(b.constInt(256), 4);
+    auto c = b.icmp(CmpOp::NE, b.param(0), b.constInt(0));
+    b.br(c, then_bb, else_bb);
+    b.setInsertPoint(then_bb);
+    b.free_(p);
+    b.jump(merge);
+    b.setInsertPoint(else_bb);
+    b.free_(p);
+    b.jump(merge);
+    b.setInsertPoint(merge);
+    b.store(b.gep(p, b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access =
+        f.blocks[merge].insts[f.blocks[merge].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::TemporalUAF);
+}
+
+TEST(Oracle, ReallocInOneBranchOnlyJoinsToUnknown)
+{
+    // free on both paths, but only one path re-mallocs: the site joins
+    // Invalidated ⊔ Reallocated = still dead — the access is a UAF
+    // either way. The one-branch-realloc edge case from the issue.
+    IrFunction f =
+        IrBuilder::makeKernel("branchrealloc", {{"c", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto then_bb = b.block("then");
+    auto else_bb = b.block("else");
+    auto merge = b.block("merge");
+    b.setInsertPoint(entry);
+    auto p = b.malloc_(b.constInt(256), 4);
+    b.free_(p);
+    auto c = b.icmp(CmpOp::NE, b.param(0), b.constInt(0));
+    b.br(c, then_bb, else_bb);
+    b.setInsertPoint(then_bb);
+    auto q = b.malloc_(b.constInt(256), 4); // may reuse p's chunk
+    b.store(b.gep(q, b.constInt(0)), b.constInt(1, Type::i32()));
+    b.jump(merge);
+    b.setInsertPoint(else_bb);
+    b.jump(merge);
+    b.setInsertPoint(merge);
+    b.store(b.gep(p, b.constInt(0)), b.constInt(2, Type::i32()));
+    const ValueId access =
+        f.blocks[merge].insts[f.blocks[merge].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::TemporalUAF);
+}
+
+TEST(Oracle, LoopCarriedFreeJoinsToUnknown)
+{
+    // Live (entry edge) ⊔ Invalidated (back edge after the in-loop
+    // free) = Top: the in-loop access before the free is not provably
+    // safe — on iteration 2 it dereferences the pointer freed by
+    // iteration 1. The loop-carried Invalidated ⊔ Live edge case.
+    IrFunction f = IrBuilder::makeKernel("loopfree", {{"n", Type::i64()}});
+    IrBuilder b(f);
+    auto entry = b.block("entry");
+    auto loop = b.block("loop");
+    auto exit = b.block("exit");
+    b.setInsertPoint(entry);
+    auto p = b.malloc_(b.constInt(256), 4);
+    b.jump(loop);
+    b.setInsertPoint(loop);
+    auto i = b.phi(Type::i64(), {{b.constInt(0), entry}});
+    b.store(b.gep(p, b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access =
+        f.blocks[loop].insts[f.blocks[loop].insts.size() - 1];
+    b.free_(p);
+    auto next = b.iadd(i, b.constInt(1));
+    f.inst(i).ops.push_back(next);
+    f.inst(i).phi_blocks.push_back(loop);
+    auto done = b.icmp(CmpOp::LT, next, b.param(0));
+    b.br(done, loop, exit);
+    b.setInsertPoint(exit);
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::Unknown);
+}
+
+TEST(Oracle, FieldOverflowInsideAllocationIsSubObject)
+{
+    IrFunction f = IrBuilder::makeKernel("fieldoob", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto obj = b.alloca_(256, 4);
+    auto field = b.fieldPtr(obj, 64, 16);
+    b.store(b.gep(field, b.constInt(5)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    const analysis::AccessWitness w = witnessOf(f, access);
+    EXPECT_EQ(w.verdict, AccessVerdict::SubObjectOOB);
+    EXPECT_TRUE(w.has_field);
+    EXPECT_EQ(w.field_lo, 64u);
+    EXPECT_EQ(w.field_size, 16u);
+}
+
+TEST(Oracle, FieldEscapeBeyondAllocationIsSpatial)
+{
+    // Escaping the whole allocation dominates the field verdict.
+    IrFunction f = IrBuilder::makeKernel("fieldspatial", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto obj = b.alloca_(256, 4);
+    auto field = b.fieldPtr(obj, 64, 16);
+    b.store(b.gep(field, b.constInt(64)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::SpatialOOB);
+}
+
+TEST(Oracle, PaddingStoreIsSpatialWithinPadding)
+{
+    // malloc(192) pads to 256: byte 196 escapes the requested size but
+    // stays inside the pow2 chunk — the witness records the refinement
+    // whole-allocation mechanisms are blind to.
+    IrFunction f = IrBuilder::makeKernel("padding", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto p = b.malloc_(b.constInt(192), 4);
+    b.store(b.gep(p, b.constInt(49)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    const analysis::AccessWitness w = witnessOf(f, access);
+    EXPECT_EQ(w.verdict, AccessVerdict::SpatialOOB);
+    EXPECT_TRUE(w.within_padding);
+}
+
+TEST(Oracle, ParamPointerAccessIsUnknown)
+{
+    IrFunction f =
+        IrBuilder::makeKernel("parampt", {{"buf", Type::ptr(4)}});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    b.store(b.gep(b.param(0), b.constInt(0)), b.constInt(1, Type::i32()));
+    const ValueId access = f.blocks[0].insts[f.blocks[0].insts.size() - 1];
+    b.ret();
+    EXPECT_EQ(witnessOf(f, access).verdict, AccessVerdict::Unknown);
+}
+
+TEST(Oracle, OracleLevelSurfacesViolationDiagnostics)
+{
+    // AnalysisLevel::Oracle folds verdicts into the pipeline report as
+    // Severity::Violation diagnostics and defers the lint UAF
+    // heuristic (no duplicate finding at warning severity).
+    IrFunction f = IrBuilder::makeKernel("pipeline_uaf", {});
+    IrBuilder b(f);
+    b.setInsertPoint(b.block("entry"));
+    auto p = b.malloc_(b.constInt(256), 4);
+    b.free_(p);
+    b.store(b.gep(p, b.constInt(0)), b.constInt(1, Type::i32()));
+    b.ret();
+    analysis::AnalysisOptions aopts;
+    aopts.level = AnalysisLevel::Oracle;
+    const analysis::AnalysisReport report = analysis::analyzeFunction(f, aopts);
+    EXPECT_EQ(report.oracle_uaf, 1u);
+    size_t violations = 0, lint_warnings = 0;
+    for (const Diagnostic& d : report.diagnostics) {
+        violations += d.severity == Severity::Violation;
+        lint_warnings +=
+            d.severity == Severity::Warning && d.pass == "lint";
+    }
+    EXPECT_EQ(violations, 1u);
+    EXPECT_EQ(lint_warnings, 0u);
+    // At Full level the lint heuristic still reports it.
+    aopts.level = AnalysisLevel::Full;
+    EXPECT_TRUE(hasDiag(analysis::analyzeFunction(f, aopts).diagnostics,
+                        "after free"));
+}
+
+// ---------------------------------------------------------------------
+// Attack-suite properties: twins and tier/thread invariance.
+// ---------------------------------------------------------------------
+
+TEST(AttackSuite, EveryBenignTwinIsProvenSafe)
+{
+    for (const AttackScenario& scenario : attackSuite()) {
+        const IrModule m = scenario.build(/*benign=*/true);
+        const IrFunction flat = inlineCalls(m, *m.find(scenario.kernel));
+        const analysis::SafetyOracleReport report =
+            analysis::analyzeSafety(flat);
+        EXPECT_TRUE(report.allProvenSafe())
+            << scenario.name << ": benign twin not fully proven safe";
+    }
+}
+
+TEST(AttackSuite, EveryAttackCarriesItsPlantedVerdict)
+{
+    for (const AttackScenario& scenario : attackSuite()) {
+        const IrModule m = scenario.build(/*benign=*/false);
+        const IrFunction flat = inlineCalls(m, *m.find(scenario.kernel));
+        const analysis::SafetyOracleReport report =
+            analysis::analyzeSafety(flat);
+        EXPECT_GE(report.count(scenario.expected), 1u)
+            << scenario.name << ": oracle missed the planted "
+            << analysis::accessVerdictName(scenario.expected);
+    }
+}
+
+TEST(AttackSuite, DetectionInvariantAcrossTiersAndSimThreads)
+{
+    // Dynamic outcome (fault or clean) for each (scenario, variant,
+    // mechanism) must not depend on the engine tier or the worker
+    // count. Representative mechanism slice to keep runtime bounded.
+    const std::vector<MechanismKind> kinds = {
+        MechanismKind::Baseline, MechanismKind::Lmi,
+        MechanismKind::LmiElide};
+    for (const AttackScenario& scenario : attackSuite()) {
+        for (bool benign : {false, true}) {
+            const IrModule m = scenario.build(benign);
+            for (MechanismKind kind : kinds) {
+                int baseline_outcome = -1; // -1 unset, 0/1/2 below
+                for (ExecutionTier tier : {ExecutionTier::Detailed,
+                                           ExecutionTier::Functional}) {
+                    for (unsigned threads : {1u, 2u}) {
+                        int outcome; // 0 clean, 1 fault, 2 rejected
+                        Device dev(makeMechanism(kind));
+                        try {
+                            const CompiledKernel ck =
+                                dev.compile(m, scenario.kernel);
+                            LaunchOptions lopts;
+                            lopts.tier = tier;
+                            lopts.sim_threads = threads;
+                            const RunResult r = dev.launch(
+                                ck, scenario.grid, scenario.block, {},
+                                lopts);
+                            outcome = r.faults.empty() ? 0 : 1;
+                        } catch (const CompileError&) {
+                            outcome = 2;
+                        }
+                        if (baseline_outcome < 0)
+                            baseline_outcome = outcome;
+                        EXPECT_EQ(outcome, baseline_outcome)
+                            << scenario.name << '/'
+                            << (benign ? "benign" : "attack")
+                            << " under " << mechanismKindName(kind)
+                            << " tier=" << executionTierName(tier)
+                            << " threads=" << threads;
+                    }
+                }
+            }
+        }
+    }
 }
 
 } // namespace

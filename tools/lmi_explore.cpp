@@ -36,6 +36,17 @@
  *       sanitizer and reports the observed conflicts next to the
  *       static verdicts. Exits non-zero when a clean kernel has a
  *       ProvenRacy pair or divergent barrier (CI gate).
+ *   lmi_explore check [test] [--bound N] [--json FILE]
+ *       Run the bounded weak-memory model checker over the litmus
+ *       family (or one named test) and compare verdicts against each
+ *       test's expectation.
+ *   lmi_explore coverage [--mechanisms m1,m2] [--tier T] [--csv FILE]
+ *                        [--json FILE]
+ *       Run the adversarial attack suite under every mechanism on both
+ *       engine tiers (one tier with --tier), cross-check dynamic
+ *       detections against the static safety oracle, and print the
+ *       detection-coverage matrix. Exits non-zero on any
+ *       oracle/dynamic disagreement (CI gate).
  *
  * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
  * sweep, security; 0 = all cores, default 1), `--sim-threads N` sets
@@ -63,6 +74,7 @@
 #include "compiler/codegen.hpp"
 #include "mechanisms/registry.hpp"
 #include "runner/experiment_runner.hpp"
+#include "security/coverage.hpp"
 #include "security/violations.hpp"
 #include "sim/trace.hpp"
 #include "workloads/litmus.hpp"
@@ -91,6 +103,8 @@ struct GlobalOpts
     uint64_t bound = 100000;
     /** Execution tier for every simulator launch the command makes. */
     ExecutionTier tier = ExecutionTier::Detailed;
+    /** True when --tier was given (coverage defaults to both tiers). */
+    bool tier_set = false;
     /** Sampled-tier schedule (--sampling P,W,D[,L]). */
     SamplingParams sampling;
 };
@@ -143,22 +157,30 @@ usage()
 {
     // Usage goes to stderr: an unknown subcommand is an error, and a
     // pipeline consuming stdout must not see the help text as data.
+    // This is the single authoritative listing — every subcommand with
+    // its flags, in dispatch order.
     std::fprintf(
         stderr,
         "usage:\n"
         "  lmi_explore list\n"
         "  lmi_explore run <workload> <mechanism> [scale]\n"
+        "              [--sim-threads N] [--tier T] [--sampling P,W,D[,L]]\n"
         "  lmi_explore compare <workload> [scale] [--jobs N]\n"
-        "  lmi_explore sweep [scale] [--jobs N] [--workloads a,b]\n"
-        "              [--mechanisms m1,m2] [--csv FILE] [--json FILE]\n"
+        "              [--sim-threads N] [--tier T]\n"
+        "  lmi_explore sweep [scale] [--jobs N] [--sim-threads N]\n"
+        "              [--workloads a,b] [--mechanisms m1,m2]\n"
+        "              [--cache DIR] [--tier T] [--sampling P,W,D[,L]]\n"
+        "              [--csv FILE] [--json FILE]\n"
         "  lmi_explore disasm <workload> <mechanism>\n"
-        "  lmi_explore security <mechanism> [--jobs N]\n"
         "  lmi_explore trace <workload> <mechanism> [events]\n"
         "  lmi_explore verify [--workloads a,b] [--json FILE]\n"
-        "              [--severity note|warning|error]\n"
+        "              [--severity note|warning|error|violation]\n"
         "  lmi_explore races [--workloads a,b] [--seeded] [--dynamic]\n"
-        "              [--json FILE]\n"
+        "              [--tier T] [--json FILE]\n"
         "  lmi_explore check [test] [--bound N] [--json FILE]\n"
+        "  lmi_explore security <mechanism> [--jobs N] [--tier T]\n"
+        "  lmi_explore coverage [--mechanisms m1,m2] [--tier T]\n"
+        "              [--csv FILE] [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --sim-threads N,\n"
         "              --cache DIR, --tier detailed|functional|sampled,\n"
         "              --sampling P,W,D[,L] (sampled-tier schedule)\n"
@@ -167,7 +189,9 @@ usage()
         "  byte-identical; jobs x sim-threads is clamped to the host\n"
         "  cores); --tier trades timing fidelity for speed (functional\n"
         "  skips the timing model, sampled extrapolates cycles from\n"
-        "  periodic detailed slices)\n");
+        "  periodic detailed slices); coverage defaults to the\n"
+        "  detailed+functional tier pair unless --tier narrows it\n"
+        "unknown --flags exit 2 with this usage on stderr\n");
     return 2;
 }
 
@@ -437,8 +461,12 @@ cmdSecurity(MechanismKind kind, const GlobalOpts& opts)
 /** Version of the machine-readable output of verify/races; bump on any
  *  field change so downstream CI parsers can detect drift.
  *  v3: top-level "tier" field (the execution tier behind any dynamic
- *  execution; static analysis itself is tier-free). */
-constexpr int kDiagnosticsSchemaVersion = 3;
+ *  execution; static analysis itself is tier-free).
+ *  v4: verify runs the safety oracle (AnalysisLevel::Oracle): per-kernel
+ *  oracle_safe/oracle_spatial/oracle_subobject/oracle_uaf/
+ *  oracle_unknown counts, and diagnostics may carry the new
+ *  "violation" severity. */
+constexpr int kDiagnosticsSchemaVersion = 4;
 
 bool
 severityFromName(const std::string& name, analysis::Severity* out)
@@ -449,6 +477,8 @@ severityFromName(const std::string& name, analysis::Severity* out)
         *out = analysis::Severity::Warning;
     else if (name == "error")
         *out = analysis::Severity::Error;
+    else if (name == "violation")
+        *out = analysis::Severity::Violation;
     else
         return false;
     return true;
@@ -459,8 +489,9 @@ cmdVerify(const GlobalOpts& opts)
 {
     analysis::Severity threshold;
     if (!severityFromName(opts.severity, &threshold)) {
-        std::fprintf(stderr, "error: unknown severity %s "
-                             "(expected note|warning|error)\n",
+        std::fprintf(stderr,
+                     "error: unknown severity %s "
+                     "(expected note|warning|error|violation)\n",
                      opts.severity.c_str());
         return 2;
     }
@@ -472,8 +503,11 @@ cmdVerify(const GlobalOpts& opts)
         for (const auto& profile : workloadSuite())
             names.push_back(profile.name);
 
+    // Oracle level: the Full pipeline plus the safety oracle, so
+    // proven UAF/sub-object violations surface next to the spatial
+    // ones and the oracle access-classification counts get reported.
     analysis::AnalysisOptions aopts;
-    aopts.level = analysis::AnalysisLevel::Full;
+    aopts.level = analysis::AnalysisLevel::Oracle;
 
     size_t total_errors = 0, total_warnings = 0, over_threshold = 0;
     std::string json = "{\n\"schema_version\": " +
@@ -482,6 +516,7 @@ cmdVerify(const GlobalOpts& opts)
                        std::string(executionTierName(opts.tier)) +
                        "\",\n\"kernels\": [";
     TextTable table({"workload", "proven safe", "violating", "unknown",
+                     "oracle safe", "oracle viol", "oracle unk",
                      "diagnostics"});
     for (size_t i = 0; i < names.size(); ++i) {
         const WorkloadProfile& profile = findWorkload(names[i]);
@@ -500,9 +535,15 @@ cmdVerify(const GlobalOpts& opts)
         }
         total_errors += report.errors();
         total_warnings += warnings;
+        const size_t oracle_viol = report.oracle_spatial +
+                                   report.oracle_subobject +
+                                   report.oracle_uaf;
         table.addRow({profile.name, std::to_string(report.proven_safe),
                       std::to_string(report.proven_violating),
                       std::to_string(report.unknown),
+                      std::to_string(report.oracle_safe),
+                      std::to_string(oracle_viol),
+                      std::to_string(report.oracle_unknown),
                       std::to_string(report.diagnostics.size())});
 
         if (i)
@@ -513,6 +554,15 @@ cmdVerify(const GlobalOpts& opts)
                 ", \"proven_violating\": " +
                 std::to_string(report.proven_violating) +
                 ", \"unknown\": " + std::to_string(report.unknown) +
+                ", \"oracle_safe\": " +
+                std::to_string(report.oracle_safe) +
+                ", \"oracle_spatial\": " +
+                std::to_string(report.oracle_spatial) +
+                ", \"oracle_subobject\": " +
+                std::to_string(report.oracle_subobject) +
+                ", \"oracle_uaf\": " + std::to_string(report.oracle_uaf) +
+                ", \"oracle_unknown\": " +
+                std::to_string(report.oracle_unknown) +
                 ", \"errors\": " + std::to_string(report.errors()) +
                 ", \"diagnostics\": " +
                 analysis::renderDiagnosticsJson(report.diagnostics) + "}";
@@ -737,6 +787,54 @@ cmdCheck(const std::string& test_name, const GlobalOpts& opts)
 }
 
 int
+cmdCoverage(const GlobalOpts& opts)
+{
+    std::vector<MechanismKind> mechanisms;
+    for (const std::string& name : splitCommas(opts.mechanisms_filter)) {
+        MechanismKind kind;
+        if (!mechanismFromName(name, &kind)) {
+            std::fprintf(stderr, "error: unknown mechanism %s\n",
+                         name.c_str());
+            return 2;
+        }
+        mechanisms.push_back(kind);
+    }
+    // Default: the full registry on both tiers whose detection
+    // semantics must agree; --tier narrows to one for quick runs.
+    std::vector<ExecutionTier> tiers;
+    if (opts.tier_set)
+        tiers.push_back(opts.tier);
+
+    const CoverageMatrix matrix = runCoverage(mechanisms, tiers);
+
+    std::printf("%s", matrix.renderTable().c_str());
+    std::printf("legend: X = runtime fault, C = compile-time "
+                "rejection, . = missed, ! = benign twin flagged\n");
+    for (const CoverageCell& c : matrix.cells)
+        if (!c.disagreement.empty())
+            std::printf("disagreement: %s %s under %s (%s): %s\n",
+                        c.attack.c_str(), c.benign ? "benign" : "attack",
+                        mechanismKindName(c.mechanism),
+                        executionTierName(c.tier),
+                        c.disagreement.c_str());
+    const size_t disagreements = matrix.disagreements();
+    std::printf("%zu cells, %zu disagreements\n", matrix.cells.size(),
+                disagreements);
+
+    if (!opts.csv_path.empty()) {
+        std::ofstream out(opts.csv_path, std::ios::trunc);
+        out << matrix.renderCsv();
+        std::printf("wrote %s\n", opts.csv_path.c_str());
+    }
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << matrix.renderJson();
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return disagreements ? 1 : 0;
+}
+
+int
 cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
 {
     Device dev(makeMechanism(kind));
@@ -788,6 +886,7 @@ main(int argc, char** argv)
         else if (flagValue("--sim-threads", &value))
             opts.sim_threads = unsigned(std::atoi(value.c_str()));
         else if (flagValue("--tier", &value)) {
+            opts.tier_set = true;
             if (!parseExecutionTier(value, &opts.tier)) {
                 std::fprintf(stderr,
                              "error: unknown tier %s (expected "
@@ -871,6 +970,8 @@ main(int argc, char** argv)
             return cmdRaces(opts);
         if (cmd == "check")
             return cmdCheck(args.size() > 1 ? args[1] : "", opts);
+        if (cmd == "coverage")
+            return cmdCoverage(opts);
         if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
             if (!mechanismFromName(args[1], &kind))
