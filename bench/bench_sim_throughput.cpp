@@ -21,7 +21,12 @@
  * simulator's per-launch SM worker pool at each count (results are
  * byte-identical; only wall clock changes) and reports Mcycles/s plus
  * parallel efficiency per count, recorded under "thread_scaling" in
- * the JSON together with the host's hardware concurrency.
+ * the JSON together with the host's hardware concurrency. When
+ * combined with `--check` on a multi-core host, the widest in-core
+ * point must show real speedup (>= 1.15x over 1 thread); on a 1-CPU
+ * host the scaling assertion is skipped with a notice — flat scaling
+ * there is physics, not a regression (the committed baseline was
+ * recorded on such a runner; see ROADMAP).
  *
  * Tier pass: unless `--no-tiers` is given, the basket is re-run under
  * the functional and sampled execution tiers. Their throughput is
@@ -398,6 +403,47 @@ main(int argc, char** argv)
                          "error: throughput regressed more than %.0f%%\n",
                          tolerance);
             return 1;
+        }
+
+        // Thread-scaling gate: only meaningful with real cores. A
+        // 1-CPU host shows flat scaling by construction, so the
+        // assertion is skipped there rather than recorded as a pass.
+        if (!scaling.empty()) {
+            const unsigned cpus =
+                std::max(1u, std::thread::hardware_concurrency());
+            if (cpus <= 1) {
+                std::printf("thread-scaling gate: skipped "
+                            "(host_cpus == 1, flat scaling expected)\n");
+            } else {
+                double best = 0.0;
+                unsigned best_threads = 0;
+                for (const ScalePoint& pt : scaling) {
+                    if (pt.threads < 2 || pt.threads > cpus)
+                        continue;
+                    const double speedup =
+                        pt.efficiency * double(pt.threads);
+                    if (speedup > best) {
+                        best = speedup;
+                        best_threads = pt.threads;
+                    }
+                }
+                if (best_threads == 0) {
+                    std::printf("thread-scaling gate: skipped (no "
+                                "in-core multi-thread point measured)\n");
+                } else {
+                    std::printf("thread-scaling gate: best in-core "
+                                "speedup %.2fx at %u threads "
+                                "(%u cpus, floor 1.15x)\n",
+                                best, best_threads, cpus);
+                    if (best < 1.15) {
+                        std::fprintf(stderr,
+                                     "error: parallel engine shows no "
+                                     "speedup on a %u-core host\n",
+                                     cpus);
+                        return 1;
+                    }
+                }
+            }
         }
     }
     return 0;

@@ -34,8 +34,8 @@ main()
     for (uint64_t req : requests) {
         DeviceHeapAllocator base_heap;
         DeviceHeapAllocator lmi_heap(lmi_cfg);
-        base_heap.malloc(0, req);
-        lmi_heap.malloc(0, req);
+        base_heap.malloc(0, 0, req);
+        lmi_heap.malloc(0, 0, req);
         const uint64_t base_res = base_heap.liveReservedBytes();
         const uint64_t lmi_res = lmi_heap.liveReservedBytes();
         const double base_waste =
@@ -56,9 +56,9 @@ main()
     // Parallel allocation sharding: threads in different warps land in
     // different buffer groups (shared group headers).
     DeviceHeapAllocator heap;
-    const uint64_t w0 = heap.malloc(/*tid=*/0, 64);
-    const uint64_t w1 = heap.malloc(/*tid=*/32, 64);
-    const uint64_t w0b = heap.malloc(/*tid=*/1, 64);
+    const uint64_t w0 = heap.malloc(/*sm=*/0, /*tid=*/0, 64);
+    const uint64_t w1 = heap.malloc(/*sm=*/0, /*tid=*/32, 64);
+    const uint64_t w0b = heap.malloc(/*sm=*/0, /*tid=*/1, 64);
     std::printf("warp sharding: tid0 -> 0x%llx, tid32 -> 0x%llx (distinct "
                 "group), tid1 -> 0x%llx (adjacent chunk)\n",
                 static_cast<unsigned long long>(w0),

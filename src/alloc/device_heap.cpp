@@ -1,233 +1,42 @@
 #include "alloc/device_heap.hpp"
 
-#include <algorithm>
-
-#include "common/bitutil.hpp"
-#include "common/logging.hpp"
-
 namespace lmi {
 
-namespace {
-
-/** Warp shard: threads of one warp share allocator metadata locality. */
-uint32_t
-shardOf(uint32_t tid)
+MessageHeap::Config
+DeviceHeapAllocator::coreConfig(const Config& config)
 {
-    return tid / 32;
+    MessageHeap::Config c;
+    c.policy = config.policy;
+    c.region_base = config.region_base;
+    c.region_size = config.region_size;
+    // Chunked Fig. 5 rounding under the Packed policy; the LMI policy
+    // rounds to 2^n sizeclasses instead. Group storage and oversized
+    // blocks place at the historical 16-byte backing alignment.
+    c.chunked = config.policy == AllocPolicy::Packed;
+    c.packed_align = 16;
+    c.geom.small_chunk = config.small_chunk;
+    c.geom.large_chunk = config.large_chunk;
+    c.geom.small_limit = config.small_limit;
+    c.geom.chunks_per_group = config.chunks_per_group;
+    c.group_header = config.group_header;
+    c.encode_extent = config.encode_extent;
+    c.quarantine_frees = config.quarantine_frees;
+    c.contexts = config.contexts;
+    c.codec = config.codec;
+    c.double_free_msg = "device free of already-freed pointer";
+    c.invalid_free_msg = "device free of pointer not returned by malloc";
+    c.stat_alloc = "alloc.heap.mallocs";
+    c.stat_free = "alloc.heap.frees";
+    c.stat_groups = "alloc.heap.groups";
+    c.stat_alloc_early = true;
+    c.stat_free_on_quarantine = true;
+    c.stat_prefix = "alloc.heap";
+    return c;
 }
-
-} // namespace
-
-namespace {
-
-GlobalAllocator::Config
-backingConfig(const DeviceHeapAllocator::Config& config)
-{
-    GlobalAllocator::Config b;
-    // Group storage itself is always placed pow2-aligned so that the
-    // LMI policy can hand out size-aligned chunks.
-    b.policy = config.policy == AllocPolicy::Pow2Aligned
-                   ? AllocPolicy::Pow2Aligned
-                   : AllocPolicy::Packed;
-    b.region_base = config.region_base;
-    b.region_size = config.region_size;
-    b.packed_align = 16;
-    b.encode_extent = false;
-    // Quarantine is enforced by the heap allocator itself; the backing
-    // region only ever grows.
-    b.codec = config.codec;
-    return b;
-}
-
-} // namespace
 
 DeviceHeapAllocator::DeviceHeapAllocator(Config config, StatRegistry* stats)
-    : config_(config), stats_(stats), backing_(backingConfig(config), nullptr)
+    : config_(config), core_(coreConfig(config), stats)
 {
-}
-
-uint64_t
-DeviceHeapAllocator::chunkUnitFor(uint64_t size) const
-{
-    return size <= config_.small_limit ? config_.small_chunk
-                                       : config_.large_chunk;
-}
-
-size_t
-DeviceHeapAllocator::groupFor(uint32_t tid, uint64_t chunk,
-                              unsigned chunks_needed)
-{
-    auto& candidates = shard_groups_[{shardOf(tid), chunk}];
-    for (size_t gi : candidates) {
-        Group& g = groups_[gi];
-        if (g.free_chunks >= chunks_needed) {
-            // Check for a contiguous run.
-            unsigned run = 0;
-            for (unsigned c = 0; c < g.chunks; ++c) {
-                run = g.used[c] ? 0 : run + 1;
-                if (run >= chunks_needed)
-                    return gi;
-            }
-        }
-    }
-
-    // Open a new group: header + chunk storage from the backing region.
-    const uint64_t storage = chunk * config_.chunks_per_group;
-    const uint64_t raw = backing_.alloc(config_.group_header + storage);
-    if (raw == 0)
-        return SIZE_MAX;
-
-    Group g;
-    g.base = raw + config_.group_header;
-    g.chunk = chunk;
-    g.chunks = config_.chunks_per_group;
-    g.used.assign(g.chunks, false);
-    g.free_chunks = g.chunks;
-    groups_.push_back(std::move(g));
-    candidates.push_back(groups_.size() - 1);
-    if (stats_)
-        stats_->inc("alloc.heap.groups");
-    return groups_.size() - 1;
-}
-
-uint64_t
-DeviceHeapAllocator::allocPow2(uint64_t size)
-{
-    // LMI policy: delegate placement to the pow2 backing allocator so the
-    // block is size-aligned, then encode the extent.
-    const uint64_t base = backing_.alloc(config_.codec.alignedSize(size));
-    return base;
-}
-
-uint64_t
-DeviceHeapAllocator::malloc(uint32_t tid, uint64_t size)
-{
-    if (size == 0)
-        return 0;
-    if (stats_)
-        stats_->inc("alloc.heap.mallocs");
-
-    Allocation a;
-    a.requested = size;
-
-    if (config_.policy == AllocPolicy::Pow2Aligned) {
-        a.reserved = config_.codec.alignedSize(size);
-        a.base = allocPow2(size);
-        if (a.base == 0)
-            return 0;
-    } else {
-        const uint64_t chunk = chunkUnitFor(size);
-        const unsigned chunks_needed =
-            unsigned((size + chunk - 1) / chunk);
-        if (chunks_needed > config_.chunks_per_group) {
-            // Oversized request: dedicated placement.
-            a.reserved = alignUp(size, chunk);
-            a.base = backing_.alloc(a.reserved);
-            if (a.base == 0)
-                return 0;
-        } else {
-            const size_t gi = groupFor(tid, chunk, chunks_needed);
-            if (gi == SIZE_MAX)
-                return 0;
-            Group& g = groups_[gi];
-            // Claim the first contiguous run.
-            unsigned run = 0, start = 0;
-            for (unsigned c = 0; c < g.chunks; ++c) {
-                if (g.used[c]) {
-                    run = 0;
-                } else {
-                    if (run == 0)
-                        start = c;
-                    if (++run >= chunks_needed)
-                        break;
-                }
-            }
-            for (unsigned c = start; c < start + chunks_needed; ++c)
-                g.used[c] = true;
-            g.free_chunks -= chunks_needed;
-            a.base = g.base + uint64_t(start) * g.chunk;
-            a.reserved = uint64_t(chunks_needed) * g.chunk;
-            a.group = gi;
-        }
-    }
-
-    live_by_base_[a.base] = a;
-    live_reserved_ += a.reserved;
-    live_requested_ += a.requested;
-    peak_reserved_ = std::max(peak_reserved_, live_reserved_);
-
-    if (config_.policy == AllocPolicy::Pow2Aligned && config_.encode_extent)
-        return config_.codec.encode(a.base, size);
-    return a.base;
-}
-
-MaybeFault
-DeviceHeapAllocator::free(uint32_t tid, uint64_t ptr)
-{
-    (void)tid;
-    const uint64_t addr = PointerCodec::addressOf(ptr);
-    uint64_t base = addr;
-    if (config_.policy == AllocPolicy::Pow2Aligned && config_.encode_extent &&
-        PointerCodec::isValid(ptr)) {
-        base = config_.codec.baseOf(ptr);
-    }
-
-    auto it = live_by_base_.find(base);
-    if (it == live_by_base_.end()) {
-        for (const auto& h : history_) {
-            if (h.base == base)
-                return Fault{FaultKind::DoubleFree, base,
-                             "device free of already-freed pointer"};
-        }
-        return Fault{FaultKind::InvalidFree, base,
-                     "device free of pointer not returned by malloc"};
-    }
-
-    Allocation a = it->second;
-    live_by_base_.erase(it);
-    a.live = false;
-    history_.push_back(a);
-    live_reserved_ -= a.reserved;
-    live_requested_ -= a.requested;
-
-    if (config_.quarantine_frees) {
-        // One-time allocation: leave the chunks/blocks retired.
-    } else if (a.group != SIZE_MAX) {
-        Group& g = groups_[a.group];
-        const unsigned start = unsigned((a.base - g.base) / g.chunk);
-        const unsigned count = unsigned(a.reserved / g.chunk);
-        for (unsigned c = start; c < start + count; ++c)
-            g.used[c] = false;
-        g.free_chunks += count;
-    } else {
-        const MaybeFault backing_fault = backing_.free(a.base);
-        if (backing_fault)
-            lmi_panic("device heap lost track of block at 0x%llx",
-                      static_cast<unsigned long long>(a.base));
-    }
-
-    if (stats_)
-        stats_->inc("alloc.heap.frees");
-    return std::nullopt;
-}
-
-std::optional<AllocBlock>
-DeviceHeapAllocator::findLive(uint64_t addr) const
-{
-    auto it = live_by_base_.upper_bound(addr);
-    if (it == live_by_base_.begin())
-        return std::nullopt;
-    --it;
-    const Allocation& a = it->second;
-    if (addr >= a.base + a.reserved)
-        return std::nullopt;
-    AllocBlock view;
-    view.base = a.base;
-    view.requested = a.requested;
-    view.reserved = a.reserved;
-    view.live = a.live;
-    view.id = 0;
-    return view;
 }
 
 } // namespace lmi

@@ -15,16 +15,20 @@
  *
  * The LMI variant rounds requests to a power of two >= K instead and
  * returns extent-encoded, size-aligned pointers.
+ *
+ * Since the message-passing rearchitecture this is a facade over
+ * MessageHeap: every SM is a context with private sizeclass caches and
+ * an MPSC remote-free inbox, warp shards map to open buffer groups,
+ * and the simulator drains the remote queues at each slice boundary in
+ * canonical (sm, seq) order so `sim_threads` stays byte-identical.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <vector>
 
-#include "alloc/global_allocator.hpp"
+#include "alloc/msg_heap.hpp"
 #include "arch/mem_map.hpp"
 #include "common/stats.hpp"
 #include "core/fault.hpp"
@@ -57,6 +61,8 @@ class DeviceHeapAllocator
         bool encode_extent = false;
         /** One-time allocation: never reuse freed chunks (§XII-C). */
         bool quarantine_frees = false;
+        /** Contexts with private caches/inboxes (one per SM). */
+        unsigned contexts = 1;
         PointerCodec codec{};
     };
 
@@ -64,68 +70,73 @@ class DeviceHeapAllocator
     explicit DeviceHeapAllocator(Config config, StatRegistry* stats = nullptr);
 
     /**
-     * Thread @p tid allocates @p size bytes.
+     * Thread @p tid on SM @p sm allocates @p size bytes.
      * Threads of different warps draw from different groups, mirroring the
-     * parallel-allocation sharding of the real runtime.
+     * parallel-allocation sharding of the real runtime; different SMs
+     * never share a group.
      * @return device pointer (extent-encoded under LMI), 0 on exhaustion.
      */
-    uint64_t malloc(uint32_t tid, uint64_t size);
+    uint64_t
+    malloc(uint32_t sm, uint32_t tid, uint64_t size)
+    {
+        return core_.alloc(sm, tid, size);
+    }
 
-    /** Thread @p tid frees @p ptr. Returns runtime-detected free faults. */
-    MaybeFault free(uint32_t tid, uint64_t ptr);
+    /**
+     * Thread @p tid on SM @p sm frees @p ptr. A free issued by a
+     * non-owning SM retires the extent immediately but recycles the
+     * range through the owner's remote queue.
+     * @return runtime-detected free faults.
+     */
+    MaybeFault
+    free(uint32_t sm, uint32_t tid, uint64_t ptr)
+    {
+        (void)tid;
+        return core_.free(sm, ptr);
+    }
+
+    /** Flush and replay pending remote frees in canonical order. */
+    void drainRemote() { core_.drainRemote(); }
 
     /** Find the live allocation containing @p addr. */
-    std::optional<AllocBlock> findLive(uint64_t addr) const;
+    std::optional<AllocBlock>
+    findLive(uint64_t addr) const
+    {
+        const MessageHeap::Extent* e = core_.findLive(addr);
+        if (e == nullptr)
+            return std::nullopt;
+        return static_cast<const AllocBlock&>(*e);
+    }
+
+    /** Full extent record (epoch, owner) at exactly @p base. */
+    const MessageHeap::Extent*
+    extentAt(uint64_t base) const
+    {
+        return core_.extentAt(base);
+    }
 
     /** Bytes reserved (chunk-rounded) for currently live buffers. */
-    uint64_t liveReservedBytes() const { return live_reserved_; }
+    uint64_t liveReservedBytes() const { return core_.liveReservedBytes(); }
 
     /** Bytes requested by currently live buffers. */
-    uint64_t liveRequestedBytes() const { return live_requested_; }
+    uint64_t liveRequestedBytes() const { return core_.liveRequestedBytes(); }
 
-    /** Peak reserved bytes (group storage + headers). */
-    uint64_t peakReservedBytes() const { return peak_reserved_; }
+    /** Peak reserved bytes over time. */
+    uint64_t peakReservedBytes() const { return core_.peakReservedBytes(); }
 
     /** Number of buffer groups created so far. */
-    size_t groupCount() const { return groups_.size(); }
+    size_t groupCount() const { return core_.groupCount(); }
 
     const Config& config() const { return config_; }
 
+    /** The message-passing core (bench/stat introspection). */
+    const MessageHeap& core() const { return core_; }
+
   private:
-    struct Group
-    {
-        uint64_t base = 0;       ///< group storage start (after header)
-        uint64_t chunk = 0;      ///< chunk unit in bytes
-        unsigned chunks = 0;     ///< chunk capacity
-        std::vector<bool> used;  ///< per-chunk occupancy
-        unsigned free_chunks = 0;
-    };
-
-    struct Allocation
-    {
-        uint64_t base = 0;
-        uint64_t requested = 0;
-        uint64_t reserved = 0;
-        size_t group = SIZE_MAX; ///< owning group (packed policy)
-        bool live = true;
-    };
-
-    uint64_t chunkUnitFor(uint64_t size) const;
-    size_t groupFor(uint32_t tid, uint64_t chunk, unsigned chunks_needed);
-    uint64_t allocPow2(uint64_t size);
+    static MessageHeap::Config coreConfig(const Config& config);
 
     Config config_;
-    StatRegistry* stats_;
-    /** Bump cursor for new group storage / pow2 sub-allocator region. */
-    GlobalAllocator backing_;
-    std::vector<Group> groups_;
-    /** groups by (warp shard, chunk unit) for locality */
-    std::map<std::pair<uint32_t, uint64_t>, std::vector<size_t>> shard_groups_;
-    std::map<uint64_t, Allocation> live_by_base_;
-    std::vector<Allocation> history_;
-    uint64_t live_reserved_ = 0;
-    uint64_t live_requested_ = 0;
-    uint64_t peak_reserved_ = 0;
+    MessageHeap core_;
 };
 
 } // namespace lmi

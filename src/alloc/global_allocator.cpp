@@ -1,189 +1,36 @@
 #include "alloc/global_allocator.hpp"
 
-#include <algorithm>
-
-#include "common/bitutil.hpp"
-#include "common/logging.hpp"
-
 namespace lmi {
 
+MessageHeap::Config
+GlobalAllocator::coreConfig(const Config& config)
+{
+    MessageHeap::Config c;
+    c.policy = config.policy;
+    c.region_base = config.region_base;
+    c.region_size = config.region_size;
+    c.packed_align = config.packed_align;
+    c.chunked = false;
+    c.encode_extent = config.encode_extent;
+    c.quarantine_frees = config.quarantine_frees;
+    c.contexts = config.contexts;
+    c.codec = config.codec;
+    c.double_free_msg = "cudaFree of already-freed pointer";
+    c.invalid_free_msg = "cudaFree of pointer not returned by cudaMalloc";
+    c.stat_alloc = "alloc.global.allocs";
+    c.stat_free = "alloc.global.frees";
+    c.stat_reserved = "alloc.global.reserved_bytes";
+    c.stat_requested = "alloc.global.requested_bytes";
+    c.stat_quarantined = "alloc.global.quarantined_bytes";
+    c.stat_alloc_early = false;
+    c.stat_free_on_quarantine = false;
+    c.stat_prefix = "alloc.global";
+    return c;
+}
+
 GlobalAllocator::GlobalAllocator(Config config, StatRegistry* stats)
-    : config_(config), stats_(stats)
+    : config_(config), core_(coreConfig(config), stats)
 {
-    if (config_.region_size == 0)
-        lmi_fatal("GlobalAllocator: empty region");
-    free_list_[config_.region_base] = config_.region_size;
-}
-
-uint64_t
-GlobalAllocator::reservedSizeFor(uint64_t size) const
-{
-    if (config_.policy == AllocPolicy::Pow2Aligned)
-        return config_.codec.alignedSize(size);
-    return alignUp(std::max<uint64_t>(size, 1), config_.packed_align);
-}
-
-uint64_t
-GlobalAllocator::placeBlock(uint64_t reserved, uint64_t alignment)
-{
-    // First fit over the coalesced free list, honoring the alignment.
-    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
-        const uint64_t hole_base = it->first;
-        const uint64_t hole_size = it->second;
-        const uint64_t aligned = alignUp(hole_base, alignment);
-        const uint64_t pre_gap = aligned - hole_base;
-        if (pre_gap + reserved > hole_size)
-            continue;
-
-        // Split the hole: [hole_base, aligned) stays free, the block
-        // occupies [aligned, aligned+reserved), the tail stays free.
-        const uint64_t tail = hole_size - pre_gap - reserved;
-        free_list_.erase(it);
-        if (pre_gap > 0)
-            free_list_[hole_base] = pre_gap;
-        if (tail > 0)
-            free_list_[aligned + reserved] = tail;
-        return aligned;
-    }
-    return 0;
-}
-
-uint64_t
-GlobalAllocator::alloc(uint64_t size)
-{
-    if (size == 0)
-        return 0;
-    const uint64_t reserved = reservedSizeFor(size);
-    if (reserved == 0) {
-        lmi_warn("allocation of %llu bytes exceeds the representable size",
-                 static_cast<unsigned long long>(size));
-        return 0;
-    }
-    const uint64_t alignment = config_.policy == AllocPolicy::Pow2Aligned
-                                   ? reserved
-                                   : config_.packed_align;
-    const uint64_t base = placeBlock(reserved, alignment);
-    if (base == 0)
-        return 0;
-
-    AllocBlock block;
-    block.base = base;
-    block.requested = size;
-    block.reserved = reserved;
-    block.live = true;
-    block.id = next_id_++;
-    live_by_base_[base] = blocks_.size();
-    blocks_.push_back(block);
-
-    live_reserved_ += reserved;
-    live_requested_ += size;
-    peak_reserved_ = std::max(peak_reserved_, live_reserved_);
-    if (stats_) {
-        stats_->inc("alloc.global.allocs");
-        stats_->inc("alloc.global.reserved_bytes", reserved);
-        stats_->inc("alloc.global.requested_bytes", size);
-    }
-
-    if (config_.policy == AllocPolicy::Pow2Aligned && config_.encode_extent)
-        return config_.codec.encode(base, size);
-    return base;
-}
-
-MaybeFault
-GlobalAllocator::free(uint64_t ptr)
-{
-    const uint64_t addr = PointerCodec::addressOf(ptr);
-    // The runtime requires the pointer to be the exact block base; for LMI
-    // pointers the base is recoverable from the extent.
-    uint64_t base = addr;
-    if (config_.policy == AllocPolicy::Pow2Aligned && config_.encode_extent &&
-        PointerCodec::isValid(ptr)) {
-        base = config_.codec.baseOf(ptr);
-    }
-
-    auto it = live_by_base_.find(base);
-    if (it == live_by_base_.end()) {
-        // Distinguish double free (block exists but is dead) from a
-        // never-allocated pointer, as the CUDA runtime does.
-        for (const auto& b : blocks_) {
-            if (b.base == base && !b.live)
-                return Fault{FaultKind::DoubleFree, base,
-                             "cudaFree of already-freed pointer"};
-        }
-        return Fault{FaultKind::InvalidFree, base,
-                     "cudaFree of pointer not returned by cudaMalloc"};
-    }
-
-    AllocBlock& block = blocks_[it->second];
-    block.live = false;
-    live_by_base_.erase(it);
-    live_reserved_ -= block.reserved;
-    live_requested_ -= block.requested;
-
-    if (config_.quarantine_frees) {
-        // One-time allocation: the address range stays retired.
-        if (stats_)
-            stats_->inc("alloc.global.quarantined_bytes", block.reserved);
-        return std::nullopt;
-    }
-
-    // Coalesce the freed range back into the free list.
-    uint64_t f_base = block.base;
-    uint64_t f_size = block.reserved;
-    auto next = free_list_.lower_bound(f_base);
-    if (next != free_list_.end() && f_base + f_size == next->first) {
-        f_size += next->second;
-        next = free_list_.erase(next);
-    }
-    if (next != free_list_.begin()) {
-        auto prev = std::prev(next);
-        if (prev->first + prev->second == f_base) {
-            f_base = prev->first;
-            f_size += prev->second;
-            free_list_.erase(prev);
-        }
-    }
-    free_list_[f_base] = f_size;
-
-    if (stats_)
-        stats_->inc("alloc.global.frees");
-    return std::nullopt;
-}
-
-const AllocBlock*
-GlobalAllocator::findLive(uint64_t addr) const
-{
-    auto it = live_by_base_.upper_bound(addr);
-    if (it == live_by_base_.begin())
-        return nullptr;
-    --it;
-    const AllocBlock& block = blocks_[it->second];
-    if (addr < block.base + block.reserved)
-        return &block;
-    return nullptr;
-}
-
-const AllocBlock*
-GlobalAllocator::findAny(uint64_t addr) const
-{
-    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
-        if (addr >= it->base && addr < it->base + it->reserved)
-            return &*it;
-    return nullptr;
-}
-
-const AllocBlock*
-GlobalAllocator::findByBase(uint64_t base) const
-{
-    // Prefer the live block; otherwise the most recently freed one.
-    auto it = live_by_base_.find(base);
-    if (it != live_by_base_.end())
-        return &blocks_[it->second];
-    const AllocBlock* found = nullptr;
-    for (const auto& b : blocks_)
-        if (b.base == base)
-            found = &b;
-    return found;
 }
 
 } // namespace lmi

@@ -6,25 +6,27 @@
  * Two layout policies:
  *
  *  - Packed: the baseline. Blocks are 256-byte aligned (the documented
- *    cudaMalloc minimum alignment) and packed first-fit, so a request of
+ *    cudaMalloc minimum alignment) and packed, so a request of
  *    2^n + eps bytes reserves 2^n + 256 bytes.
  *  - Pow2Aligned: the LMI policy. Requests round up to the next power of
  *    two >= K and the block is size-aligned, so the returned pointer can
  *    carry its extent in the upper bits.
  *
- * The allocator keeps full block bookkeeping (live and freed) because the
- * protection mechanisms need it: GPUShield reads per-buffer bounds from
- * it, tripwire/canary schemes place their guard zones around blocks, and
- * the fragmentation experiment (Fig. 4) reads the reserved-byte
- * accounting.
+ * Since the message-passing rearchitecture this is a thin facade over
+ * MessageHeap (sizeclass freelists, per-context caches, remote-free
+ * queues, epoch-stamped extent table). The host API stays
+ * single-context — `alloc`/`free` run as context 0 — while
+ * `allocFrom`/`freeFrom` expose the per-context paths for runner jobs
+ * and the multi-tenant server. The mechanisms still read per-block
+ * bounds through findLive/findAny, and the fragmentation experiment
+ * (Fig. 4) still reads the reserved-byte accounting.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <vector>
 
+#include "alloc/msg_heap.hpp"
 #include "arch/mem_map.hpp"
 #include "common/stats.hpp"
 #include "core/fault.hpp"
@@ -32,24 +34,8 @@
 
 namespace lmi {
 
-/** Block placement policy. */
-enum class AllocPolicy : uint8_t {
-    Packed,     ///< baseline cudaMalloc: 256B-aligned, tightly packed
-    Pow2Aligned ///< LMI: size rounded to 2^n and size-aligned
-};
-
-/** One allocation record. */
-struct AllocBlock
-{
-    uint64_t base = 0;      ///< start VA (extent-stripped)
-    uint64_t requested = 0; ///< bytes the caller asked for
-    uint64_t reserved = 0;  ///< bytes the allocator consumed
-    bool live = false;      ///< false after free
-    uint64_t id = 0;        ///< monotonically increasing allocation id
-};
-
 /**
- * First-fit free-list allocator over one virtual region.
+ * Message-passing allocator over one virtual region (host API).
  */
 class GlobalAllocator
 {
@@ -70,6 +56,8 @@ class GlobalAllocator
          * liveness-tracking extension.
          */
         bool quarantine_frees = false;
+        /** Contexts with private caches (runner jobs / server tenants). */
+        unsigned contexts = 1;
         PointerCodec codec{};
     };
 
@@ -77,60 +65,87 @@ class GlobalAllocator
     explicit GlobalAllocator(Config config, StatRegistry* stats = nullptr);
 
     /**
-     * Allocate @p size bytes.
+     * Allocate @p size bytes (context 0).
      * @return the (possibly extent-encoded) device pointer, or 0 on
      *         exhaustion.
      */
-    uint64_t alloc(uint64_t size);
+    uint64_t alloc(uint64_t size) { return core_.alloc(0, 0, size); }
 
     /**
-     * Free a previously returned pointer.
+     * Free a previously returned pointer (context 0).
      * @return InvalidFree/DoubleFree faults as the CUDA runtime would
      *         report them; nullopt on success.
      */
-    MaybeFault free(uint64_t ptr);
+    MaybeFault free(uint64_t ptr) { return core_.free(0, ptr); }
+
+    /** Allocate from context @p ctx's caches. */
+    uint64_t
+    allocFrom(uint32_t ctx, uint64_t size)
+    {
+        return core_.alloc(ctx, 0, size);
+    }
+
+    /** Free from context @p ctx (cross-context frees travel as
+     *  remote-queue messages until the next drain). */
+    MaybeFault
+    freeFrom(uint32_t ctx, uint64_t ptr)
+    {
+        return core_.free(ctx, ptr);
+    }
+
+    /** Flush and replay pending remote frees in canonical order. */
+    void drainRemote() { core_.drainRemote(); }
 
     /** Find the block containing @p addr (live blocks only). */
-    const AllocBlock* findLive(uint64_t addr) const;
+    const AllocBlock*
+    findLive(uint64_t addr) const
+    {
+        return core_.findLive(addr);
+    }
 
-    /** Find any block (live or freed) whose base is @p base. */
-    const AllocBlock* findByBase(uint64_t base) const;
+    /** Find any block (live or retired) whose base is @p base. */
+    const AllocBlock*
+    findByBase(uint64_t base) const
+    {
+        return core_.extentAt(base);
+    }
 
     /**
-     * Find the most recent block (live or freed) containing @p addr —
+     * Find the current block (live or retired) containing @p addr —
      * the allocator's ground truth for fault classification.
      */
-    const AllocBlock* findAny(uint64_t addr) const;
+    const AllocBlock*
+    findAny(uint64_t addr) const
+    {
+        return core_.findAny(addr);
+    }
 
-    /** All blocks ever allocated, in allocation order. */
-    const std::vector<AllocBlock>& blocks() const { return blocks_; }
+    /** Full extent record (epoch, owner) at exactly @p base. */
+    const MessageHeap::Extent*
+    extentAt(uint64_t base) const
+    {
+        return core_.extentAt(base);
+    }
 
     /** Peak of the sum of reserved bytes over time (Fig. 4 RSS proxy). */
-    uint64_t peakReservedBytes() const { return peak_reserved_; }
+    uint64_t peakReservedBytes() const { return core_.peakReservedBytes(); }
 
     /** Currently reserved bytes. */
-    uint64_t liveReservedBytes() const { return live_reserved_; }
+    uint64_t liveReservedBytes() const { return core_.liveReservedBytes(); }
 
     /** Sum of requested bytes over live blocks. */
-    uint64_t liveRequestedBytes() const { return live_requested_; }
+    uint64_t liveRequestedBytes() const { return core_.liveRequestedBytes(); }
 
     const Config& config() const { return config_; }
 
+    /** The message-passing core (bench/stat introspection). */
+    const MessageHeap& core() const { return core_; }
+
   private:
-    uint64_t reservedSizeFor(uint64_t size) const;
-    uint64_t placeBlock(uint64_t reserved, uint64_t alignment);
+    static MessageHeap::Config coreConfig(const Config& config);
 
     Config config_;
-    StatRegistry* stats_;
-    std::vector<AllocBlock> blocks_;
-    /** live block index by base address */
-    std::map<uint64_t, size_t> live_by_base_;
-    /** free extents: base -> size, coalesced */
-    std::map<uint64_t, uint64_t> free_list_;
-    uint64_t live_reserved_ = 0;
-    uint64_t live_requested_ = 0;
-    uint64_t peak_reserved_ = 0;
-    uint64_t next_id_ = 1;
+    MessageHeap core_;
 };
 
 } // namespace lmi

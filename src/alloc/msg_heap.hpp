@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Message-passing allocator core shared by the host (cudaMalloc) and
+ * device-heap (in-kernel malloc) facades.
+ *
+ * Architecture (snmalloc-style, adapted to a deterministic simulator):
+ *
+ *  - An **epoch-stamped extent table**: one record per address range,
+ *    ordered by base in a std::map (stable node addresses, O(log n)
+ *    containment lookup). Reusing a range bumps its epoch and mints a
+ *    fresh allocation id, so LMI bounds minting, fault attribution and
+ *    the safety oracle's Live/Invalidated/Reallocated views survive
+ *    arbitrary churn without unbounded history growth.
+ *  - **Sizeclass-segregated freelists with per-context caches**: each
+ *    context (SM, or runner job) owns LIFO caches of recycled blocks,
+ *    spilling to a shared central freelist when they overflow. The
+ *    common alloc/free path is O(1).
+ *  - **Batched remote-free MPSC queues**: a free issued by a context
+ *    that does not own the block retires the extent record immediately
+ *    (fault checks are synchronous) but ships the range back to its
+ *    owner as a message, drained at slice boundaries in canonical
+ *    (from, seq) order so `sim_threads` stays byte-identical.
+ *  - A first-fit coalescing **range allocator** underneath, carving
+ *    slabs (Fig. 5 buffer groups in chunked mode) and serving "huge"
+ *    blocks directly.
+ *
+ * Threading contract: all mutations (alloc/free/drainRemote) are
+ * externally serialized — the simulator performs them on the commit
+ * thread in canonical op order. Lookups (findLive/findAny) are
+ * concurrent-read-safe while no mutation runs, which is how the
+ * protection mechanisms call them from SM worker threads mid-slice.
+ * RemoteQueue::post alone is genuinely lock-free, for the future
+ * multi-tenant server.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/range_alloc.hpp"
+#include "alloc/remote_queue.hpp"
+#include "alloc/sizeclass.hpp"
+#include "common/stats.hpp"
+#include "core/fault.hpp"
+#include "core/pointer.hpp"
+
+namespace lmi {
+
+/** Block placement policy. */
+enum class AllocPolicy : uint8_t {
+    Packed,     ///< baseline cudaMalloc: 256B-aligned, tightly packed
+    Pow2Aligned ///< LMI: size rounded to 2^n and size-aligned
+};
+
+/** One allocation record, as the mechanisms and tests see it. */
+struct AllocBlock
+{
+    uint64_t base = 0;      ///< start VA (extent-stripped)
+    uint64_t requested = 0; ///< bytes the caller asked for
+    uint64_t reserved = 0;  ///< bytes the allocator consumed
+    bool live = false;      ///< false after free
+    uint64_t id = 0;        ///< monotonically increasing allocation id
+};
+
+/** Per-context local cache capacity (blocks per sizeclass). */
+inline constexpr size_t kCacheCap = 64;
+/** Remote-free messages buffered per (from,to) pair before a post. */
+inline constexpr size_t kRemoteBatch = 32;
+
+class MessageHeap
+{
+  public:
+    /** Extent-table record: an AllocBlock plus reuse lineage. */
+    struct Extent : AllocBlock
+    {
+        uint32_t epoch = 0;       ///< times this range has been re-minted
+        uint32_t owner = 0;       ///< context whose freelists recycle it
+        uint32_t cls = kHugeClass;
+    };
+
+    struct Config
+    {
+        AllocPolicy policy = AllocPolicy::Packed;
+        uint64_t region_base = 0;
+        uint64_t region_size = 0;
+        /** Packed-policy rounding/alignment (and huge-block alignment). */
+        uint64_t packed_align = 256;
+        /** Fig. 5 chunk rounding instead of packed_align (device heap). */
+        bool chunked = false;
+        ChunkGeometry geom{};
+        /** Bytes of group header preceding chunked-group storage. */
+        uint64_t group_header = 128;
+        bool encode_extent = false;
+        /** One-time allocation: freed ranges are never recycled. */
+        bool quarantine_frees = false;
+        unsigned contexts = 1;
+        /** Warp shards per context for chunked-group locality. */
+        unsigned shards_per_ctx = 4;
+        PointerCodec codec{};
+
+        /** Fault detail strings (differ between the two facades). */
+        std::string double_free_msg;
+        std::string invalid_free_msg;
+
+        /**
+         * Legacy stat names (empty = not counted), preserving the exact
+         * pre-rearchitecture stat surface of each facade.
+         */
+        std::string stat_alloc, stat_free, stat_groups;
+        std::string stat_reserved, stat_requested, stat_quarantined;
+        /** Heap counted malloc attempts; global counted successes. */
+        bool stat_alloc_early = false;
+        /** Heap counted quarantined frees as frees; global did not. */
+        bool stat_free_on_quarantine = false;
+        /** Prefix for the new message-passing stats (<prefix>.remote_*). */
+        std::string stat_prefix;
+    };
+
+    /** Remote-free machinery counters (bench/bench_alloc_throughput). */
+    struct RemoteStats
+    {
+        uint64_t posted = 0;      ///< remote frees issued
+        uint64_t batches = 0;     ///< MPSC batch publishes
+        uint64_t drained = 0;     ///< messages replayed by drains
+        uint64_t drain_calls = 0; ///< drainRemote invocations
+    };
+
+    MessageHeap(Config config, StatRegistry* stats);
+
+    /**
+     * Context @p ctx (thread @p tid for warp-shard locality) allocates
+     * @p size bytes. @return the (possibly extent-encoded) pointer, or
+     * 0 on exhaustion.
+     */
+    uint64_t alloc(uint32_t ctx, uint32_t tid, uint64_t size);
+
+    /**
+     * Context @p ctx frees @p ptr. The extent is retired synchronously;
+     * cross-context recycling travels through the remote queues.
+     * @return InvalidFree/DoubleFree faults; nullopt on success.
+     */
+    MaybeFault free(uint32_t ctx, uint64_t ptr);
+
+    /**
+     * Flush every producer batch and replay all pending remote frees in
+     * canonical (from, seq) order. Called at slice boundaries (and by
+     * the alloc slow path before reporting exhaustion).
+     */
+    void drainRemote();
+
+    /** Find the live extent containing @p addr. */
+    const Extent* findLive(uint64_t addr) const;
+
+    /** Find the extent (live or retired) containing @p addr. */
+    const Extent* findAny(uint64_t addr) const;
+
+    /** Exact-base lookup (live or retired). */
+    const Extent* extentAt(uint64_t base) const;
+
+    uint64_t liveReservedBytes() const { return live_reserved_; }
+    uint64_t liveRequestedBytes() const { return live_requested_; }
+    uint64_t peakReservedBytes() const { return peak_reserved_; }
+
+    /** Fig. 5 buffer groups opened so far (chunked mode). */
+    size_t groupCount() const { return group_count_; }
+    /** Non-chunked slabs carved so far. */
+    size_t slabCount() const { return slab_count_; }
+    /** Extent-table records currently held. */
+    size_t extentCount() const { return extents_.size(); }
+
+    /** Bytes carved out of the region (slabs + groups + huge blocks). */
+    uint64_t footprintBytes() const { return footprint_; }
+    uint64_t peakFootprintBytes() const { return peak_footprint_; }
+    /** Recycled blocks parked in caches + central freelists. */
+    uint64_t cachedBlocks() const { return cached_blocks_; }
+    /** Remote frees still waiting for a drain. */
+    uint64_t remotePending() const
+    {
+        return remote_stats_.posted - remote_stats_.drained;
+    }
+
+    const RemoteStats& remoteStats() const { return remote_stats_; }
+    const RangeAllocator& range() const { return range_; }
+    const Config& config() const { return config_; }
+
+  private:
+    /** Rounded shape of one request. */
+    struct Shape
+    {
+        uint64_t reserved = 0;
+        uint64_t align = 0;
+        uint32_t cls = kHugeClass;
+        uint64_t chunk = 0;
+        unsigned chunks = 0;
+    };
+
+    /** Chunked-mode bump group (a Fig. 5 buffer group being filled). */
+    struct OpenGroup
+    {
+        uint64_t base = 0;   ///< storage start (after header)
+        uint64_t chunk = 0;  ///< chunk unit
+        unsigned cursor = 0; ///< chunks carved so far
+        unsigned cap = 0;    ///< chunk capacity
+    };
+
+    /** Non-chunked bump slab for one sizeclass. */
+    struct OpenSlab
+    {
+        uint64_t cursor = 0;
+        uint64_t end = 0;
+    };
+
+    struct CtxState
+    {
+        /** [cls] -> LIFO of recycled block bases. */
+        std::vector<std::vector<uint64_t>> cache;
+        /** [shard*2 + unit] -> open chunked groups. */
+        std::vector<std::vector<OpenGroup>> groups;
+        /** [cls] -> open bump slab. */
+        std::vector<OpenSlab> open;
+        /** [to] -> unflushed remote-free batch. */
+        std::vector<std::vector<RemoteMsg>> outbox;
+        RemoteQueue inbox;
+        uint64_t next_seq = 0;
+    };
+
+    Shape shapeFor(uint64_t size);
+    uint64_t acquire(uint32_t ctx, uint32_t tid, const Shape& s);
+    uint64_t carveFromGroup(uint32_t ctx, uint32_t tid, const Shape& s);
+    uint64_t carveFromSlab(uint32_t ctx, const Shape& s);
+    void pushLocal(uint32_t ctx, uint32_t cls, uint64_t base);
+    void postRemote(uint32_t from, uint32_t owner, uint32_t cls,
+                    uint64_t base);
+    Extent& mintExtent(uint64_t base, const Shape& s, uint32_t ctx,
+                       uint64_t requested);
+
+    Config config_;
+    StatRegistry* stats_;
+    RangeAllocator range_;
+    SizeClassRegistry classes_;
+    /** Extent table: base -> record, ranges never overlapping. */
+    std::map<uint64_t, Extent> extents_;
+    /** deque: CtxState holds an atomic inbox and cannot move. */
+    std::deque<CtxState> ctx_;
+    /** [cls] -> overflow freelist shared by all contexts. */
+    std::vector<std::vector<uint64_t>> central_;
+
+    uint64_t live_reserved_ = 0;
+    uint64_t live_requested_ = 0;
+    uint64_t peak_reserved_ = 0;
+    uint64_t footprint_ = 0;
+    uint64_t peak_footprint_ = 0;
+    uint64_t cached_blocks_ = 0;
+    size_t group_count_ = 0;
+    size_t slab_count_ = 0;
+    uint64_t next_id_ = 1;
+    RemoteStats remote_stats_;
+};
+
+} // namespace lmi

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Batched MPSC remote-free message queue (snmalloc-style message
+ * passing).
+ *
+ * When context F frees a block owned by context O != F, the block's
+ * record is retired synchronously (fault classification and temporal
+ * attribution cannot wait), but the *recycling* — returning the range
+ * to O's sizeclass freelists — travels as a message. Producers batch
+ * messages locally and publish whole batches with a single
+ * compare-exchange onto the owner's inbox chain, so posting is
+ * lock-free and O(1) amortised; the owner drains its inbox at a slice
+ * boundary and replays the messages in canonical (from, seq) order,
+ * which keeps the simulator byte-identical at every `sim_threads`
+ * count.
+ *
+ * Inside today's simulator every mutation already happens on the
+ * commit thread, but the queue is written to the MPSC contract so the
+ * multi-tenant server (ROADMAP) can post from concurrent client
+ * streams without a lock.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lmi {
+
+/** One remote free in flight. */
+struct RemoteMsg
+{
+    uint64_t base = 0; ///< extent base being returned to its owner
+    uint32_t cls = 0;  ///< sizeclass index (owner-side freelist key)
+    uint32_t from = 0; ///< freeing context
+    uint64_t seq = 0;  ///< per-`from` monotonic stamp (canonical order)
+};
+
+/**
+ * Lock-free MPSC inbox for one owning context.
+ *
+ * Producers push batches; the single consumer takes the whole chain
+ * with one exchange. Chain order is arbitrary (LIFO of batches) — the
+ * consumer sorts by (from, seq) before replay, so no ordering burden
+ * is placed on producers.
+ */
+class RemoteQueue
+{
+  public:
+    RemoteQueue() = default;
+    ~RemoteQueue()
+    {
+        Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+        while (n != nullptr) {
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+
+    RemoteQueue(const RemoteQueue&) = delete;
+    RemoteQueue& operator=(const RemoteQueue&) = delete;
+
+    /** Publish a batch of messages (producer side, lock-free). */
+    void
+    post(std::vector<RemoteMsg>&& batch)
+    {
+        if (batch.empty())
+            return;
+        Node* node = new Node{std::move(batch), nullptr};
+        Node* old = head_.load(std::memory_order_relaxed);
+        do {
+            node->next = old;
+        } while (!head_.compare_exchange_weak(old, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+    }
+
+    /**
+     * Take every pending message (consumer side). Appends to @p out in
+     * arbitrary order — the caller sorts by (from, seq) for canonical
+     * replay. @return number of messages drained.
+     */
+    size_t
+    drainInto(std::vector<RemoteMsg>& out)
+    {
+        Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+        size_t drained = 0;
+        while (n != nullptr) {
+            drained += n->batch.size();
+            out.insert(out.end(), n->batch.begin(), n->batch.end());
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+        return drained;
+    }
+
+    /** True when no batch is published (unflushed producer buffers may
+     *  still hold messages — the heap flushes those before draining). */
+    bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+  private:
+    struct Node
+    {
+        std::vector<RemoteMsg> batch;
+        Node* next = nullptr;
+    };
+
+    std::atomic<Node*> head_{nullptr};
+};
+
+} // namespace lmi

@@ -2411,7 +2411,7 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
                 if (op.is_malloc) {
                     const uint64_t size = op.vals[lane];
                     const uint64_t ptr =
-                        heap_.malloc(w.first_gtid + lane, size);
+                        heap_.malloc(sm.sm_id, w.first_gtid + lane, size);
                     if (ptr == 0) {
                         Fault f;
                         f.kind = FaultKind::InvalidFree;
@@ -2442,7 +2442,7 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
                     const uint64_t ptr = op.vals[lane];
                     MaybeFault f = mech_.onDeviceFree(ptr);
                     if (!f)
-                        f = heap_.free(w.first_gtid + lane, ptr);
+                        f = heap_.free(sm.sm_id, w.first_gtid + lane, ptr);
                     if (f) {
                         candidates.push_back(
                             {op.cycle, sm.sm_id, op.seq, std::move(*f)});
@@ -2479,6 +2479,10 @@ GpuSim::commitSlice(std::vector<SmCtx>& sms, uint64_t slice_no)
         }
         sm.heap_q.clear();
     }
+    // Slice boundary: replay cross-SM frees queued above in canonical
+    // (sm, seq) order, so the owners' freelists — and every later
+    // placement decision — are byte-identical at any sim_threads count.
+    heap_.drainRemote();
 
     // (c') Execute deferred global atomics in the same canonical
     // (sm, seq) order, against the base memory — which at this point

@@ -72,22 +72,31 @@ TEST(GlobalAllocator, PeakTracksHighWaterMark)
     EXPECT_EQ(a.peakReservedBytes(), 8192u);
 }
 
-TEST(GlobalAllocator, FreeListReuseAndCoalescing)
+TEST(GlobalAllocator, SizeclassReuseAndEpochStamping)
 {
     GlobalAllocator a;
     const uint64_t p1 = a.alloc(4096);
     const uint64_t p2 = a.alloc(4096);
     const uint64_t p3 = a.alloc(4096);
     ASSERT_FALSE(a.free(p2).has_value());
-    // Same-size reallocation lands in the hole.
+    // Same-size reallocation pops the freed block off the sizeclass
+    // cache (LIFO), re-minting the extent with a bumped epoch.
     const uint64_t p4 = a.alloc(4096);
     EXPECT_EQ(p4, p2);
+    const MessageHeap::Extent* e = a.extentAt(p4);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->epoch, 1u);
+    EXPECT_TRUE(e->live);
     ASSERT_FALSE(a.free(p1).has_value());
     ASSERT_FALSE(a.free(p3).has_value());
     ASSERT_FALSE(a.free(p4).has_value());
-    // Everything coalesced: a huge allocation fits again at the base.
-    const uint64_t p5 = a.alloc(1024 * 1024);
-    EXPECT_EQ(p5, kGlobalBase);
+    // Huge blocks bypass the sizeclass layer and coalesce in the range
+    // allocator: allocate, free, and the same span is reusable.
+    const uint64_t h1 = a.alloc(1024 * 1024);
+    ASSERT_NE(h1, 0u);
+    ASSERT_FALSE(a.free(h1).has_value());
+    const uint64_t h2 = a.alloc(1024 * 1024);
+    EXPECT_EQ(h2, h1);
 }
 
 TEST(GlobalAllocator, DoubleFreeAndInvalidFree)
@@ -134,11 +143,11 @@ TEST(DeviceHeap, ChunkRoundingMatchesFig5)
 {
     DeviceHeapAllocator heap;
     // Small request -> 80 B chunk multiples.
-    const uint64_t p = heap.malloc(0, 100);
+    const uint64_t p = heap.malloc(0, 0, 100);
     ASSERT_NE(p, 0u);
     EXPECT_EQ(heap.liveReservedBytes(), 160u); // 2 x 80 B
     // Large request -> 2208 B chunk multiples.
-    const uint64_t q = heap.malloc(0, 3000);
+    const uint64_t q = heap.malloc(0, 0, 3000);
     ASSERT_NE(q, 0u);
     EXPECT_EQ(heap.liveReservedBytes(), 160u + 2 * 2208u);
 }
@@ -148,7 +157,7 @@ TEST(DeviceHeap, BaselineFragmentationUpToFiftyPct)
     DeviceHeapAllocator heap;
     // 81 bytes occupies two 80 B chunks: ~49% internal fragmentation,
     // the paper's §IV-E observation.
-    const uint64_t p = heap.malloc(0, 81);
+    const uint64_t p = heap.malloc(0, 0, 81);
     ASSERT_NE(p, 0u);
     const double frag =
         1.0 - double(heap.liveRequestedBytes()) / heap.liveReservedBytes();
@@ -158,9 +167,9 @@ TEST(DeviceHeap, BaselineFragmentationUpToFiftyPct)
 TEST(DeviceHeap, ThreadsInDifferentWarpsUseDifferentGroups)
 {
     DeviceHeapAllocator heap;
-    const uint64_t p0 = heap.malloc(0, 64);   // warp 0
-    const uint64_t p1 = heap.malloc(32, 64);  // warp 1
-    const uint64_t p2 = heap.malloc(1, 64);   // warp 0 again
+    const uint64_t p0 = heap.malloc(0, 0, 64);   // warp 0
+    const uint64_t p1 = heap.malloc(0, 32, 64);  // warp 1
+    const uint64_t p2 = heap.malloc(0, 1, 64);   // warp 0 again
     ASSERT_NE(p0, 0u);
     ASSERT_NE(p1, 0u);
     EXPECT_EQ(heap.groupCount(), 2u);
@@ -174,7 +183,7 @@ TEST(DeviceHeap, Pow2PolicyEncodesExtent)
     cfg.policy = AllocPolicy::Pow2Aligned;
     cfg.encode_extent = true;
     DeviceHeapAllocator heap(cfg);
-    const uint64_t p = heap.malloc(3, 300);
+    const uint64_t p = heap.malloc(0, 3, 300);
     ASSERT_NE(p, 0u);
     EXPECT_TRUE(PointerCodec::isValid(p));
     const PointerCodec codec;
@@ -185,12 +194,12 @@ TEST(DeviceHeap, Pow2PolicyEncodesExtent)
 TEST(DeviceHeap, FreeFaults)
 {
     DeviceHeapAllocator heap;
-    const uint64_t p = heap.malloc(0, 64);
-    ASSERT_FALSE(heap.free(0, p).has_value());
-    const MaybeFault dbl = heap.free(0, p);
+    const uint64_t p = heap.malloc(0, 0, 64);
+    ASSERT_FALSE(heap.free(0, 0, p).has_value());
+    const MaybeFault dbl = heap.free(0, 0, p);
     ASSERT_TRUE(dbl.has_value());
     EXPECT_EQ(dbl->kind, FaultKind::DoubleFree);
-    const MaybeFault inv = heap.free(0, kHeapBase + 0x100000);
+    const MaybeFault inv = heap.free(0, 0, kHeapBase + 0x100000);
     ASSERT_TRUE(inv.has_value());
     EXPECT_EQ(inv->kind, FaultKind::InvalidFree);
 }
@@ -198,16 +207,37 @@ TEST(DeviceHeap, FreeFaults)
 TEST(DeviceHeap, ChunkReuseAfterFree)
 {
     DeviceHeapAllocator heap;
-    const uint64_t p = heap.malloc(0, 64);
-    ASSERT_FALSE(heap.free(0, p).has_value());
-    const uint64_t q = heap.malloc(0, 64);
+    const uint64_t p = heap.malloc(0, 0, 64);
+    ASSERT_FALSE(heap.free(0, 0, p).has_value());
+    const uint64_t q = heap.malloc(0, 0, 64);
     EXPECT_EQ(q, p); // delayed-UAF substrate: memory is reassigned
+}
+
+TEST(DeviceHeap, GroupAccountingAcrossFreeRealloc)
+{
+    // Free-then-realloc of the same extent must reuse the open buffer
+    // group (no second group, no footprint growth) and re-mint the
+    // extent record in place.
+    DeviceHeapAllocator heap;
+    const uint64_t p = heap.malloc(0, 0, 64);
+    ASSERT_NE(p, 0u);
+    const uint64_t footprint = heap.core().footprintBytes();
+    ASSERT_FALSE(heap.free(0, 0, p).has_value());
+    const uint64_t q = heap.malloc(0, 0, 64);
+    EXPECT_EQ(q, p);
+    EXPECT_EQ(heap.groupCount(), 1u);
+    EXPECT_EQ(heap.core().footprintBytes(), footprint);
+    EXPECT_EQ(heap.liveReservedBytes(), 80u);
+    const MessageHeap::Extent* e = heap.extentAt(q);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->epoch, 1u);
+    EXPECT_TRUE(e->live);
 }
 
 TEST(DeviceHeap, FindLive)
 {
     DeviceHeapAllocator heap;
-    const uint64_t p = heap.malloc(0, 100);
+    const uint64_t p = heap.malloc(0, 0, 100);
     const auto hit = heap.findLive(p + 50);
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->base, p);

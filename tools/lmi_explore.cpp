@@ -47,6 +47,11 @@
  *       detections against the static safety oracle, and print the
  *       detection-coverage matrix. Exits non-zero on any
  *       oracle/dynamic disagreement (CI gate).
+ *   lmi_explore churn [scale] [--workloads s1,s2] [--json FILE]
+ *       Run the allocation-churn basket (workloads/churn.hpp) against
+ *       the message-passing allocator and print per-spec throughput,
+ *       remote-free drain statistics, and the deterministic digest.
+ *       Exits non-zero when a live free faults (allocator bug).
  *
  * Global flags: `--jobs N` sizes the ExperimentRunner pool (compare,
  * sweep, security; 0 = all cores, default 1), `--sim-threads N` sets
@@ -77,6 +82,7 @@
 #include "security/coverage.hpp"
 #include "security/violations.hpp"
 #include "sim/trace.hpp"
+#include "workloads/churn.hpp"
 #include "workloads/litmus.hpp"
 #include "workloads/workloads.hpp"
 
@@ -181,6 +187,7 @@ usage()
         "  lmi_explore security <mechanism> [--jobs N] [--tier T]\n"
         "  lmi_explore coverage [--mechanisms m1,m2] [--tier T]\n"
         "              [--csv FILE] [--json FILE]\n"
+        "  lmi_explore churn [scale] [--workloads s1,s2] [--json FILE]\n"
         "global flags: --jobs N (0 = all cores), --sim-threads N,\n"
         "              --cache DIR, --tier detailed|functional|sampled,\n"
         "              --sampling P,W,D[,L] (sampled-tier schedule)\n"
@@ -860,6 +867,68 @@ cmdTrace(const std::string& workload, MechanismKind kind, size_t events)
     return r.faulted() ? 1 : 0;
 }
 
+int
+cmdChurn(double scale, const GlobalOpts& opts)
+{
+    std::vector<ChurnSpec> specs;
+    if (opts.workloads_filter.empty()) {
+        for (const ChurnSpec& s : churnBasket())
+            specs.push_back(scaleChurnSpec(s, scale));
+    } else {
+        for (const std::string& name :
+             splitCommas(opts.workloads_filter))
+            specs.push_back(scaleChurnSpec(findChurnSpec(name), scale));
+    }
+
+    TextTable table({"spec", "ops", "ops_per_sec", "oom", "stale_faults",
+                     "remote_drained", "drain_calls", "frag", "digest"});
+    bool bad = false;
+    std::vector<ChurnResult> results;
+    for (const ChurnSpec& s : specs) {
+        const ChurnResult r = runChurn(s);
+        if (r.unexpected_faults) {
+            std::fprintf(stderr, "error: %s: %llu live frees faulted\n",
+                         s.name.c_str(),
+                         (unsigned long long)r.unexpected_faults);
+            bad = true;
+        }
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      (unsigned long long)r.digest);
+        table.addRow({s.name, std::to_string(r.ops),
+                      fmtF(r.opsPerSec(), 0), std::to_string(r.oom),
+                      std::to_string(r.stale_faults),
+                      std::to_string(r.remote_drained),
+                      std::to_string(r.drain_calls),
+                      fmtPct(100.0 * r.fragmentation), digest});
+        results.push_back(r);
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::trunc);
+        out << "{\n  \"scale\": " << scale << ",\n  \"specs\": {\n";
+        for (size_t i = 0; i < specs.size(); ++i) {
+            const ChurnResult& r = results[i];
+            char digest[32];
+            std::snprintf(digest, sizeof digest, "%016llx",
+                          (unsigned long long)r.digest);
+            out << "    \"" << specs[i].name << "\": {\"ops\": " << r.ops
+                << ", \"ops_per_sec\": " << fmtF(r.opsPerSec(), 1)
+                << ", \"oom\": " << r.oom
+                << ", \"stale_faults\": " << r.stale_faults
+                << ", \"remote_posted\": " << r.remote_posted
+                << ", \"remote_drained\": " << r.remote_drained
+                << ", \"fragmentation\": " << fmtF(r.fragmentation, 4)
+                << ", \"digest\": \"" << digest << "\"}"
+                << (i + 1 < specs.size() ? "," : "") << "\n";
+        }
+        out << "  }\n}\n";
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return bad ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -972,6 +1041,10 @@ main(int argc, char** argv)
             return cmdCheck(args.size() > 1 ? args[1] : "", opts);
         if (cmd == "coverage")
             return cmdCoverage(opts);
+        if (cmd == "churn")
+            return cmdChurn(args.size() > 1 ? std::atof(args[1].c_str())
+                                            : 1.0,
+                            opts);
         if (cmd == "security" && args.size() >= 2) {
             MechanismKind kind;
             if (!mechanismFromName(args[1], &kind))
